@@ -1,0 +1,81 @@
+// Figure 15 (+ Figure 7): query compilation evaluation.
+//   (a) primitives and modules per query under baseline / +Opt.1 / +Opt.2 /
+//       +Opt.3, with Sonata's logical-table estimate for comparison;
+//   (b) stages per query under the same ladder, with Sonata's estimated
+//       stage count ([55]-style) for five queries;
+//   Fig. 7: overall module/stage reduction ratios per query.
+#include <cstdio>
+
+#include "baselines/sonata.h"
+#include "bench_util.h"
+#include "core/compose.h"
+#include "core/queries.h"
+
+using namespace newton;
+
+namespace {
+
+CompileOptions level(int o) {
+  CompileOptions opts;
+  opts.opt1 = o >= 1;
+  opts.opt2 = o >= 2;
+  opts.opt3 = o >= 3;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  const auto queries = all_queries();
+
+  bench::header("Figure 15(a): primitives / modules per query");
+  std::printf("%6s %6s | %9s %9s %9s %9s | %12s\n", "query", "prims",
+              "baseline", "+Opt.1", "+Opt.2", "+Opt.3", "Sonata tables");
+  bench::row_sep();
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& q = queries[qi];
+    std::printf("Q%-5zu %6zu |", qi + 1, q.num_primitives());
+    for (int o = 0; o <= 3; ++o)
+      std::printf(" %9zu", compile_query(q, level(o)).num_modules());
+    std::printf(" | %12zu\n", estimate_sonata(q).tables);
+  }
+
+  bench::header("Figure 15(b): stages per query");
+  std::printf("%6s | %9s %9s %9s %9s | %12s\n", "query", "baseline", "+Opt.1",
+              "+Opt.2", "+Opt.3", "Sonata stages");
+  bench::row_sep();
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& q = queries[qi];
+    std::printf("Q%-5zu |", qi + 1);
+    for (int o = 0; o <= 3; ++o)
+      std::printf(" %9zu", compile_query(q, level(o)).num_stages());
+    // The paper estimates Sonata stages for 5 of the queries.
+    if (qi == 0 || qi == 2 || qi == 3 || qi == 4 || qi == 6)
+      std::printf(" | %12zu\n", estimate_sonata(q).stages);
+    else
+      std::printf(" | %12s\n", "-");
+  }
+
+  bench::header("Figure 7: reduction ratios vs the naive composition");
+  std::printf("%6s %14s %14s %16s\n", "query", "modules cut", "stages cut",
+              "branch span (st)");
+  bench::row_sep();
+  double min_mod = 1.0, min_stage = 1.0;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& q = queries[qi];
+    const CompiledQuery naive = compile_query(q, level(0));
+    const CompiledQuery opt = compile_query(q, level(3));
+    const double mod_cut = 1.0 - static_cast<double>(opt.num_modules()) /
+                                     static_cast<double>(naive.num_modules());
+    const double stage_cut = 1.0 - static_cast<double>(opt.num_stages()) /
+                                       static_cast<double>(naive.num_stages());
+    min_mod = std::min(min_mod, mod_cut);
+    min_stage = std::min(min_stage, stage_cut);
+    std::printf("Q%-5zu %13.1f%% %13.1f%% %16zu\n", qi + 1, mod_cut * 100,
+                stage_cut * 100, opt.branch_stage_span());
+  }
+  std::printf("\nminimum reduction across queries: modules %.1f%%, stages "
+              "%.1f%%  (paper: >=42.4%% / >=69.7%%)\n",
+              min_mod * 100, min_stage * 100);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 17: network-wide resilient placement of Q4 (Algorithm 2).
+//   (a) total and average table entries when Q4 (10 stages / ~19 entries)
+//       is split over 1..5 switches (stages per switch 10,5,4,3,2), on an
+//       8-ary fat-tree (monitoring traffic entering the ToRs) and on the
+//       North-America ISP backbone (monitoring traffic from California).
+//   (b) entries vs fat-tree scale: total grows linearly with the topology,
+//       average per switch stabilizes to a constant.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/cqe.h"
+#include "core/queries.h"
+#include "net/placement.h"
+#include "net/topology.h"
+
+using namespace newton;
+
+namespace {
+
+std::vector<int> california_edges(const Topology& isp) {
+  std::vector<int> out;
+  for (int s : isp.switches()) {
+    const auto& n = isp.nodes[s].name;
+    if (n == "SanFrancisco" || n == "LosAngeles" || n == "SanJose" ||
+        n == "SanDiego" || n == "Sacramento")
+      out.push_back(s);
+  }
+  return out;
+}
+
+void report(const char* topo_name, const Topology& topo,
+            const std::vector<int>& edges, const CompiledQuery& q4) {
+  std::printf("\n[%s: %zu switches, ingress edges: %zu]\n", topo_name,
+              topo.switches().size(), edges.size());
+  std::printf("%14s %8s %14s %14s\n", "stages/switch", "slices",
+              "total entries", "avg entries");
+  bench::row_sep();
+  for (std::size_t stages : {10u, 5u, 4u, 3u, 2u}) {
+    const auto slices = slice_query_structural(q4, stages);
+    const Placement p = place_resilient(topo, edges, slices.size());
+    const PlacementStats st = placement_stats(p, slices);
+    std::printf("%14zu %8zu %14zu %14.1f\n", stages, slices.size(),
+                st.total_entries, st.avg_entries_per_switch);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const CompiledQuery q4 = compile_query(make_q4());
+  bench::header("Figure 17(a): placing Q4 with varying per-switch stages");
+  std::printf("Q4 compiles to %zu stages / %zu table entries\n",
+              q4.num_stages(), q4.num_table_entries());
+
+  const Topology ft8 = make_fat_tree(8);
+  report("8-ary fat-tree (ToR ingress)", ft8, ft8.edge_switches(), q4);
+
+  const Topology isp = make_isp_backbone();
+  report("NA ISP backbone (California ingress)", isp, california_edges(isp),
+         q4);
+
+  bench::header("Figure 17(b): fat-tree scale sweep (3 stages/switch)");
+  std::printf("%8s %10s %14s %14s\n", "k", "switches", "total entries",
+              "avg entries");
+  bench::row_sep();
+  const auto slices = slice_query_structural(q4, 3);
+  for (int k : {4, 8, 12, 16, 20, 24}) {
+    const Topology ft = make_fat_tree(k);
+    const Placement p =
+        place_resilient(ft, ft.edge_switches(), slices.size());
+    const PlacementStats st = placement_stats(p, slices);
+    std::printf("%8d %10zu %14zu %14.1f\n", k, ft.switches().size(),
+                st.total_entries, st.avg_entries_per_switch);
+  }
+  std::printf(
+      "\nTotal entries grow linearly with topology size while the per-switch\n"
+      "average stabilizes to a constant — resilient placement scales to\n"
+      "large networks (Fig. 17).\n");
+  return 0;
+}

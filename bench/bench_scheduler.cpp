@@ -1,0 +1,88 @@
+// Ablation: concurrent-query scheduling (the §7 open problem).
+//
+// Offered load: a growing batch of monitoring intents over disjoint traffic
+// classes, all requesting full-width sketches, on one 12-stage switch.
+// Compared policies:
+//   * FCFS, fixed width: install until something (registers) overflows,
+//     reject the rest;
+//   * scheduled: weighted width degradation admits every query that fits
+//     structurally, trading sketch width for admission.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/scheduler.h"
+
+using namespace newton;
+
+namespace {
+
+Query tenant_query(int i, std::size_t width) {
+  // Tenant i monitors heavy receivers on its own service port.
+  return QueryBuilder("tenant" + std::to_string(i))
+      .sketch(2, width)
+      .filter(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                  .where(Field::DstPort, Cmp::Eq,
+                         static_cast<uint32_t>(2000 + i)))
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, 100)
+      .build();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kBank = 49'152;
+  bench::header("Scheduler ablation: admitted tenants on one switch");
+  std::printf("(12 stages, %zu registers/bank, every tenant asks for "
+              "2x4096 counters)\n\n",
+              kBank);
+  std::printf("%8s | %12s | %12s %18s %14s\n", "offered", "FCFS admits",
+              "sched admits", "min granted width", "peak bank use");
+  bench::row_sep();
+
+  for (int offered : {4, 8, 12, 16, 24, 32, 48, 64}) {
+    // FCFS with fixed widths.
+    std::size_t fcfs = 0;
+    {
+      NewtonSwitch sw(1, 12, nullptr, kBank);
+      Controller ctl(sw);
+      for (int i = 0; i < offered; ++i) {
+        try {
+          ctl.install(tenant_query(i, 4096));
+          ++fcfs;
+        } catch (const std::runtime_error&) {
+          break;
+        }
+      }
+    }
+
+    // Weighted scheduling (earlier tenants weigh more).
+    std::vector<ScheduleRequest> reqs;
+    for (int i = 0; i < offered; ++i)
+      reqs.push_back({tenant_query(i, 4096),
+                      /*weight=*/1.0 + (i < offered / 2 ? 1.0 : 0.0)});
+    SwitchProfile profile;
+    profile.bank_registers = kBank;
+    const SchedulePlan plan = schedule_queries(reqs, profile);
+
+    std::size_t min_width = 0, admitted = 0;
+    if (plan.feasible) {
+      admitted = plan.entries.size();
+      min_width = SIZE_MAX;
+      for (const auto& e : plan.entries)
+        min_width = std::min(min_width, e.granted_width);
+      NewtonSwitch sw(1, 12, nullptr, kBank);
+      Controller ctl(sw);
+      apply_plan(ctl, plan);  // sanity: the plan actually installs
+    }
+    std::printf("%8d | %12zu | %12zu %18zu %14zu\n", offered, fcfs, admitted,
+                min_width, plan.feasible ? plan.peak_bank_demand : 0);
+  }
+  std::printf(
+      "\nFixed-width FCFS saturates the state banks and starts rejecting;\n"
+      "the scheduler admits every structurally-fitting tenant by shrinking\n"
+      "low-weight sketches (graceful accuracy degradation).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Table 3: hardware resources consumed by Newton, normalized by the usage
+// of the reference switch.p4 program — per-stage (naive baseline vs compact
+// module layout), per-module, and per-primitive (amortized over the 256
+// rules each module supports).
+#include <array>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/compose.h"
+#include "core/layout.h"
+#include "core/queries.h"
+
+using namespace newton;
+
+namespace {
+
+void print_row(const char* label, const ResourceVec& v) {
+  const auto n = v.normalized_by(switch_p4_reference()).as_array();
+  std::printf("%-34s", label);
+  for (double x : n) std::printf(" %9.4f%%", x * 100.0);
+  std::printf("\n");
+}
+
+// Amortized per-primitive usage: the primitive's module rules divided by
+// each module's 256-rule capacity (§6.2 "each of the 256 queries can
+// amortize the module resources").
+ResourceVec primitive_usage(const Query& q, bool opt1 = true) {
+  CompileOptions opts;
+  opts.opt1 = opt1;  // keep front filters as modules to measure them
+  const CompiledQuery cq = compile_query(q, opts);
+  ResourceVec total;
+  for (const auto& b : cq.branches) {
+    for (const auto& m : b.modules) {
+      ResourceVec mod;
+      switch (m.type) {
+        case ModuleType::K: mod = k_module_resources(); break;
+        case ModuleType::H: mod = h_module_resources(); break;
+        case ModuleType::S: mod = s_module_resources(); break;
+        case ModuleType::R: mod = r_module_resources(); break;
+      }
+      total += mod * (1.0 / static_cast<double>(kRulesPerModule));
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 3: resources normalized by switch.p4");
+  std::printf("%-34s", "");
+  for (const auto& n : kResourceNames) std::printf(" %10s", std::string(n).c_str());
+  std::printf("\n");
+  bench::row_sep();
+
+  std::printf("[per-stage]\n");
+  print_row("  Baseline (naive layout)", naive_stage_usage());
+  print_row("  Compact module layout", compact_stage_usage());
+
+  std::printf("[per-module]\n");
+  print_row("  Field/key selection (K)", k_module_resources());
+  print_row("  Hash calculation (H)", h_module_resources());
+  print_row("  State bank (S)", s_module_resources());
+  print_row("  Result process (R)", r_module_resources());
+
+  std::printf("[per-primitive, amortized /256 rules]\n");
+  print_row("  filter(pkt.tcp.flags==2)",
+            primitive_usage(QueryBuilder("f")
+                                .filter(Predicate{}.where(Field::TcpFlags,
+                                                          Cmp::Eq, 2))
+                                .build(),
+                            /*opt1=*/false));
+  print_row("  map(pkt=>(pkt.dip))",
+            primitive_usage(QueryBuilder("m").map({Field::DstIp}).build()));
+  print_row("  reduce(keys=(pkt.dip),f=sum)",
+            primitive_usage(QueryBuilder("r")
+                                .reduce({Field::DstIp}, Agg::Sum)
+                                .when(Cmp::Ge, 1 << 30)
+                                .build()));
+  print_row("  distinct(keys=(pkt.dip,pkt.sip))",
+            primitive_usage(
+                QueryBuilder("d").distinct({Field::DstIp, Field::SrcIp}).build()));
+
+  std::printf(
+      "\nCompact layout packs all four module types per stage: per-stage\n"
+      "utilization is 4x the naive baseline, and the skewed per-module\n"
+      "demands (H: crossbar, S: SRAM/SALU, R: TCAM/VLIW) balance out.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the experiment harnesses.  Each bench binary
+// regenerates one table/figure of the paper's evaluation (§6) and prints
+// the same rows/series; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "trace/attacks.h"
+#include "trace/trace_gen.h"
+
+namespace newton::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row_sep() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+// Scale knob: NEWTON_BENCH_SCALE=full uses paper-sized traces; the default
+// "quick" profile keeps every bench binary under ~a minute.
+inline bool full_scale() {
+  const char* v = std::getenv("NEWTON_BENCH_SCALE");
+  return v != nullptr && std::string(v) == "full";
+}
+
+inline TraceProfile bench_caida(uint32_t seed = 1) {
+  TraceProfile p = caida_like(seed);
+  if (!full_scale()) p.num_flows = 6'000;
+  return p;
+}
+
+inline TraceProfile bench_mawi(uint32_t seed = 2) {
+  TraceProfile p = mawi_like(seed);
+  if (!full_scale()) p.num_flows = 6'000;
+  return p;
+}
+
+// Background + the attack mix the nine queries look for.
+inline Trace attack_mix_trace(const TraceProfile& profile) {
+  Trace t = generate_trace(profile);
+  std::mt19937 rng(profile.seed + 1000);
+  inject_syn_flood(t, ipv4(172, 16, 200, 1), 300, 1, 50'000'000, rng);
+  inject_port_scan(t, ipv4(198, 18, 1, 1), ipv4(172, 16, 200, 2), 150,
+                   150'000'000, rng);
+  inject_udp_flood(t, ipv4(172, 16, 200, 3), 120, 2, 250'000'000, rng);
+  inject_ssh_brute(t, ipv4(198, 18, 2, 2), ipv4(172, 16, 200, 4), 60,
+                   350'000'000, rng);
+  inject_slowloris(t, ipv4(198, 18, 3, 3), ipv4(172, 16, 200, 5), 60,
+                   450'000'000, rng);
+  inject_super_spreader(t, ipv4(198, 18, 4, 4), 150, 550'000'000, rng);
+  inject_dns_no_tcp(t, ipv4(10, 50, 0, 1), ipv4(172, 16, 0, 53), 12,
+                    650'000'000, rng);
+  t.sort_by_time();
+  return t;
+}
+
+}  // namespace newton::bench

@@ -1,0 +1,112 @@
+// DDoS drill-down: the on-demand query workflow the paper motivates (§1,
+// §3.1) — "operators need to update monitoring tasks to drill down into
+// sources of anomaly traffic when detecting DDoS attacks".
+//
+// Phase 1 runs a coarse always-on detector (UDP packets per destination).
+// When it fires, the operator reacts AT RUNTIME: the coarse query is
+// updated with a tighter threshold and a second, finer query is installed
+// that profiles the victim's traffic (distinct sources).  No switch reboot,
+// no forwarding interruption — the exact capability Sonata lacks (Fig. 10).
+#include <cstdio>
+
+#include "core/controller.h"
+#include "core/newton_switch.h"
+#include "trace/attacks.h"
+#include "trace/trace_gen.h"
+
+using namespace newton;
+
+namespace {
+
+class DrilldownSink : public ReportSink {
+ public:
+  void report(const ReportRecord& r) override {
+    last = r;
+    ++count;
+  }
+  ReportRecord last;
+  int count = 0;
+};
+
+Query coarse_detector(uint32_t pkt_threshold) {
+  return QueryBuilder("udp_volume")
+      .filter(Predicate{}.where(Field::Proto, Cmp::Eq, kProtoUdp))
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, pkt_threshold)
+      .sketch(2, 4096)
+      .build();
+}
+
+Query victim_profiler(uint32_t victim, uint32_t src_threshold) {
+  // Zoom onto the victim: how many DISTINCT sources are hitting it?
+  return QueryBuilder("victim_sources")
+      .filter(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoUdp)
+                  .where(Field::DstIp, Cmp::Eq, victim))
+      .map({Field::DstIp, Field::SrcIp})
+      .distinct({Field::DstIp, Field::SrcIp})
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, src_threshold)
+      .sketch(2, 4096)
+      .build();
+}
+
+}  // namespace
+
+int main() {
+  DrilldownSink sink;
+  // Both queries watch UDP traffic, so the controller chains them into
+  // disjoint stage ranges; 20 stages hold the pair (on a 12-stage Tofino
+  // the drill-down query would ride CQE — see examples/network_wide).
+  NewtonSwitch sw(1, 20, &sink);
+  Controller controller(sw);
+
+  const auto install = controller.install(coarse_detector(400));
+  std::printf("phase 1: coarse UDP-volume detector installed (%.1f ms)\n",
+              install.latency_ms);
+
+  // Attack trace: background + a 150-source UDP flood starting at t=200ms.
+  TraceProfile profile = mawi_like(21);
+  profile.num_flows = 3'000;
+  Trace trace = generate_trace(profile);
+  std::mt19937 rng(21);
+  const uint32_t victim = ipv4(172, 16, 40, 40);
+  inject_udp_flood(trace, victim, /*sources=*/150, /*pkts_each=*/4,
+                   /*start=*/200'000'000, rng);
+  trace.sort_by_time();
+
+  bool drilled_down = false;
+  int coarse_fired_at_count = 0;
+  for (const Packet& p : trace.packets) {
+    sw.process(p);
+    if (!drilled_down && sink.count > 0) {
+      const uint32_t v = sink.last.oper_keys[index(Field::DstIp)];
+      std::printf("\n!! anomaly at t=%.1fms: %s receives heavy UDP "
+                  "(count=%u)\n",
+                  sink.last.ts_ns / 1e6, ipv4_to_string(v).c_str(),
+                  sink.last.global_result);
+
+      // Operator reaction, all at runtime while traffic keeps flowing:
+      const auto upd = controller.update("udp_volume", coarse_detector(800));
+      const auto fine = controller.install(victim_profiler(v, 40));
+      std::printf("   drill-down: coarse threshold raised (%.1f ms), victim "
+                  "profiler installed (%.1f ms)\n",
+                  upd.latency_ms, fine.latency_ms);
+      coarse_fired_at_count = sink.count;
+      drilled_down = true;
+    }
+  }
+
+  std::printf("\nphase 2 results: %d profiler report(s) after drill-down\n",
+              sink.count - coarse_fired_at_count);
+  if (sink.count > coarse_fired_at_count)
+    std::printf("   -> DISTRIBUTED flood confirmed: >=40 distinct sources "
+                "hit %s in one window\n",
+                ipv4_to_string(victim).c_str());
+  std::printf("\nforwarded %llu packets; every query operation happened on "
+              "the live data plane (0 dropped)\n",
+              static_cast<unsigned long long>(sw.packets_forwarded()));
+  return 0;
+}

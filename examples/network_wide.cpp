@@ -1,0 +1,79 @@
+// Network-wide monitoring: deploy a port-scan detector across a fat-tree
+// with cross-switch query execution and resilient placement (§5), then
+// fail a link mid-attack and watch detection survive the reroute.
+//
+// The query is sliced over small (4-stage) switches; Algorithm 2 places
+// slice d on every switch reachable in d hops from the ingress ToRs, so
+// whatever path ECMP or a failure picks, the packet still meets slice 1,
+// then slice 2, ... in order.
+#include <cstdio>
+
+#include "analyzer/analyzer.h"
+#include "core/queries.h"
+#include "net/net_controller.h"
+#include "trace/attacks.h"
+
+using namespace newton;
+
+int main() {
+  // 4-ary fat-tree: 20 switches (8 edge, 8 agg, 4 core), 16 hosts.
+  Analyzer analyzer;
+  Network net(make_fat_tree(4), /*stages_per_switch=*/4, &analyzer,
+              /*bank_registers=*/1 << 14);
+  NetworkController controller(net, &analyzer, 1 << 14);
+
+  QueryParams params;
+  params.sketch_width = 1024;
+  params.q4_port_th = 60;
+  Query q4 = make_q4(params);
+
+  // Compile horizontally for slicing (every cut then fits the SP header).
+  CompileOptions opts;
+  opts.opt3 = false;
+  const auto& deployment = controller.deploy(q4, opts);
+
+  std::printf("deployed '%s' as %zu slices over the fat-tree\n",
+              q4.name.c_str(), deployment.slices.size());
+  std::printf("placement (Algorithm 2):\n");
+  for (const auto& [sw_node, slices] : deployment.placement.assignment) {
+    std::printf("  %-10s:", net.topo().nodes[sw_node].name.c_str());
+    for (std::size_t s : slices) std::printf(" slice%zu", s);
+    std::printf("\n");
+  }
+
+  // Attack: a host in pod 0 scans a host in pod 3.
+  const auto hosts = net.topo().hosts();
+  const int src = hosts.front(), dst = hosts.back();
+  std::mt19937 rng(31);
+  Trace scan;
+  const uint32_t scanner = ipv4(10, 0, 0, 1);
+  const uint32_t target = ipv4(172, 16, 3, 3);
+  inject_port_scan(scan, scanner, target, /*ports=*/200, /*start=*/0, rng);
+  scan.sort_by_time();
+
+  std::size_t failed_at = scan.size() / 2;
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    if (i == failed_at) {
+      // Fail the first inter-switch link of the current path.
+      const auto path = route(net.topo(), src, dst, 0);
+      const auto sws = switches_on(net.topo(), *path);
+      net.topo().fail_link(sws[0], sws[1]);
+      std::printf("\n!! link %s--%s failed mid-attack; traffic reroutes\n",
+                  net.topo().nodes[sws[0]].name.c_str(),
+                  net.topo().nodes[sws[1]].name.c_str());
+    }
+    net.send(scan.packets[i], src, dst);
+  }
+
+  bool detected = false;
+  for (const KeyArray& k : analyzer.detected(q4.name))
+    detected |= k[index(Field::SrcIp)] == scanner;
+  std::printf("\nscanner %s detected: %s (%zu reports; SP header carried "
+              "%llu bytes over links)\n",
+              ipv4_to_string(scanner).c_str(), detected ? "YES" : "NO",
+              analyzer.total_reports(),
+              static_cast<unsigned long long>(net.total_sp_link_bytes()));
+  std::printf("redundant placement kept every possible path covered — no "
+              "re-deployment was needed after the failure.\n");
+  return detected ? 0 : 1;
+}

@@ -1,0 +1,194 @@
+// newton_tool: a small operator CLI over the library.
+//
+//   newton_tool gen <caida|mawi> <out.ntrc> [flows] [seed]   generate a trace
+//   newton_tool info <trace.{ntrc,csv,pcap}>                 summarize it
+//   newton_tool csv <in.ntrc> <out.csv>                      convert
+//   newton_tool pcap <in.{ntrc,csv}> <out.pcap>              export a capture
+//   newton_tool queries                                      list Q1-Q9
+//   newton_tool compile <q1..q9>                             show the schedule
+//   newton_tool run <q1..q9> <trace.{ntrc,csv}>              execute + report
+//   newton_tool p4 [stages]                                  emit the layout P4
+//   newton_tool rules <q1..q9>                               emit table rules
+//   newton_tool query '<dsl>' <trace.{ntrc,csv,pcap}>        run a DSL intent
+//     e.g. newton_tool query 'filter(proto == udp) | map(dip) |
+//          reduce(dip, count) | when(>= 500)' t.ntrc
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analyzer/analyzer.h"
+#include "core/compose.h"
+#include "core/dump.h"
+#include "core/newton_switch.h"
+#include "core/p4gen.h"
+#include "core/parse_query.h"
+#include "core/queries.h"
+#include "trace/pcap.h"
+#include "trace/trace_io.h"
+
+using namespace newton;
+
+namespace {
+
+Trace load_any(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".csv")
+    return load_trace_csv(path);
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".pcap")
+    return load_pcap(path);
+  return load_trace(path);
+}
+
+int query_index(const std::string& s) {
+  if (s.size() == 2 && s[0] == 'q' && s[1] >= '1' && s[1] <= '9')
+    return s[1] - '1';
+  return -1;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: newton_tool gen <caida|mawi> <out.ntrc> [flows] [seed]\n"
+               "       newton_tool info <trace.{ntrc,csv}>\n"
+               "       newton_tool csv <in.ntrc> <out.csv>\n"
+               "       newton_tool queries\n"
+               "       newton_tool compile <q1..q9>\n"
+               "       newton_tool run <q1..q9> <trace.{ntrc,csv}>\n"
+               "       newton_tool p4 [stages]\n"
+               "       newton_tool rules <q1..q9>\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 4) return usage();
+  TraceProfile p = std::strcmp(argv[2], "mawi") == 0 ? mawi_like() : caida_like();
+  if (argc > 4) p.num_flows = static_cast<std::size_t>(std::atol(argv[4]));
+  if (argc > 5) p.seed = static_cast<uint32_t>(std::atol(argv[5]));
+  const Trace t = generate_trace(p);
+  save_trace(t, argv[3]);
+  std::printf("wrote %zu packets (%.2f s of %s traffic) to %s\n", t.size(),
+              t.duration_ns() / 1e9, p.name.c_str(), argv[3]);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Trace t = load_any(argv[2]);
+  std::map<uint32_t, std::size_t> per_proto;
+  uint64_t bytes = 0;
+  for (const Packet& p : t.packets) {
+    ++per_proto[p.proto()];
+    bytes += p.wire_len;
+  }
+  std::printf("%s: %zu packets, %.3f s, %.2f MB\n", t.name.c_str(), t.size(),
+              t.duration_ns() / 1e9, static_cast<double>(bytes) / 1e6);
+  for (const auto& [proto, n] : per_proto)
+    std::printf("  proto %3u: %zu packets (%.1f%%)\n", proto, n,
+                100.0 * static_cast<double>(n) / static_cast<double>(t.size()));
+  return 0;
+}
+
+int cmd_csv(int argc, char** argv) {
+  if (argc < 4) return usage();
+  save_trace_csv(load_trace(argv[2]), argv[3]);
+  std::printf("converted %s -> %s\n", argv[2], argv[3]);
+  return 0;
+}
+
+int cmd_queries() {
+  for (std::size_t i = 1; i <= 9; ++i)
+    std::printf("q%zu  %s\n", i, query_description(i).c_str());
+  return 0;
+}
+
+int cmd_compile(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int qi = query_index(argv[2]);
+  if (qi < 0) return usage();
+  const Query q = all_queries()[static_cast<std::size_t>(qi)];
+  std::printf("%s\n%s", dump_query(q).c_str(),
+              dump_compiled(compile_query(q)).c_str());
+  return 0;
+}
+
+int run_query_over(const Query& q, const Trace& t);
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const int qi = query_index(argv[2]);
+  if (qi < 0) return usage();
+  const Query q = all_queries()[static_cast<std::size_t>(qi)];
+  return run_query_over(q, load_any(argv[3]));
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const Query q = parse_query("cli_intent", argv[2]);
+  return run_query_over(q, load_any(argv[3]));
+}
+
+int run_query_over(const Query& q, const Trace& t) {
+  Analyzer an;
+  NewtonSwitch sw(1, 18, &an, 1 << 16);
+  const auto res = sw.install(compile_query(q));
+  for (std::size_t bi = 0; bi < res.qids.size(); ++bi)
+    an.register_qid_any(res.qids[bi], q.name, bi);
+  for (const Packet& p : t.packets) sw.process(p);
+
+  std::printf("%s over %zu packets: %zu report(s)\n", q.name.c_str(),
+              t.size(), an.reports_for(q.name));
+  for (std::size_t bi = 0; bi < q.branches.size(); ++bi) {
+    int shown = 0;
+    for (const KeyArray& k : an.detected(q.name, bi)) {
+      if (shown++ == 10) {
+        std::printf("  ...\n");
+        break;
+      }
+      std::printf("  [%s] sip=%s dip=%s sport=%u dport=%u len=%u\n",
+                  q.branches[bi].name.c_str(),
+                  ipv4_to_string(k[index(Field::SrcIp)]).c_str(),
+                  ipv4_to_string(k[index(Field::DstIp)]).c_str(),
+                  k[index(Field::SrcPort)], k[index(Field::DstPort)],
+                  k[index(Field::PktLen)]);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "csv") return cmd_csv(argc, argv);
+    if (cmd == "pcap") {
+      if (argc < 4) return usage();
+      save_pcap(load_any(argv[2]), argv[3]);
+      std::printf("exported %s -> %s\n", argv[2], argv[3]);
+      return 0;
+    }
+    if (cmd == "queries") return cmd_queries();
+    if (cmd == "compile") return cmd_compile(argc, argv);
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "query") return cmd_query(argc, argv);
+    if (cmd == "p4") {
+      P4GenOptions o;
+      if (argc > 2) o.stages = static_cast<std::size_t>(std::atol(argv[2]));
+      std::fputs(generate_p4_program(o).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "rules") {
+      const int qi = argc > 2 ? query_index(argv[2]) : -1;
+      if (qi < 0) return usage();
+      const Query q = all_queries()[static_cast<std::size_t>(qi)];
+      std::fputs(generate_rule_script(compile_query(q)).c_str(), stdout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,83 @@
+// Software analyzer: collects data-plane reports, groups them by query and
+// branch, deduplicates, and performs the joins that run on CPU (Q6's
+// SYN/ACK correlation, Q8's connections-vs-bytes ratio, Q9's DNS-minus-TCP
+// set difference) — the primitives "beyond the capability of data planes"
+// that Newton, like Sonata, executes in software (§4.1, §7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzer/ground_truth.h"
+#include "core/report.h"
+
+namespace newton {
+
+class Analyzer : public ReportSink {
+ public:
+  // Register which (query, branch) a data-plane qid belongs to.  For
+  // network-wide deployments the same (query, branch) may map from several
+  // switch-local qids; register each.
+  void register_qid(uint32_t switch_id, uint16_t qid, std::string query,
+                    std::size_t branch);
+  // Convenience for single-switch tests: qid applies to any switch.
+  void register_qid_any(uint16_t qid, std::string query, std::size_t branch);
+
+  void report(const ReportRecord& r) override;
+
+  std::size_t total_reports() const { return total_reports_; }
+  std::size_t reports_for(const std::string& query) const;
+
+  // Deduplicated detected keys for one branch (union over windows).
+  KeySet detected(const std::string& query, std::size_t branch = 0) const;
+  // Detected keys of one branch within one window.
+  KeySet detected_in_window(const std::string& query, std::size_t branch,
+                            uint64_t window, uint64_t window_ns) const;
+
+  // --- CPU-side joins ---
+  // Q6: victims = SYN-heavy dips that are not ACK-heavy (branch0 \ branch2).
+  KeySet join_syn_flood(const std::string& query = "q6_syn_flood") const;
+  // Q8: victims = connection-heavy dips that are not byte-heavy.
+  KeySet join_slowloris(const std::string& query = "q8_slowloris") const;
+  // Q9: dips that received DNS responses but never initiated TCP.  The two
+  // branches key different fields, so the join compares dip vs sip.
+  KeySet join_dns_no_tcp(const std::string& query = "q9_dns_no_tcp") const;
+
+  // --- operator-facing statistics ---
+  struct QueryStats {
+    std::size_t reports = 0;        // raw report volume
+    std::size_t unique_keys = 0;    // deduplicated detections
+    std::size_t windows = 0;        // distinct report timestamps' windows
+    uint64_t first_ts_ns = 0;       // earliest report
+    uint64_t last_ts_ns = 0;        // latest report
+  };
+  QueryStats stats(const std::string& query, std::size_t branch,
+                   uint64_t window_ns) const;
+
+  // The keys reported most often for one branch (e.g. the loudest victims),
+  // most-reported first.
+  std::vector<std::pair<KeyArray, std::size_t>> top_keys(
+      const std::string& query, std::size_t branch, std::size_t k) const;
+
+  void clear();
+
+ private:
+  struct BranchKeyed {
+    std::map<uint64_t, KeySet> by_window;  // raw windows keyed by ts bucket
+    KeySet all;
+    std::map<KeyArray, std::size_t> key_counts;
+  };
+
+  const BranchKeyed* find(const std::string& query, std::size_t branch) const;
+
+  std::map<std::pair<uint32_t, uint16_t>, std::pair<std::string, std::size_t>>
+      qid_map_;
+  std::map<uint16_t, std::pair<std::string, std::size_t>> qid_any_map_;
+  std::map<std::pair<std::string, std::size_t>, BranchKeyed> results_;
+  std::map<std::string, std::size_t> per_query_reports_;
+  std::size_t total_reports_ = 0;
+};
+
+}  // namespace newton

@@ -1,0 +1,17 @@
+#include "analyzer/deferred.h"
+
+namespace newton {
+
+std::vector<uint16_t> SoftwarePlane::install_remaining(
+    const std::vector<QuerySlice>& slices, std::size_t first_slice,
+    uint16_t query_uid) {
+  std::vector<uint16_t> qids;
+  for (std::size_t i = first_slice; i < slices.size(); ++i) {
+    const auto res = sw_->install_slice(slices[i], query_uid,
+                                        /*resolve_offsets=*/false);
+    qids.insert(qids.end(), res.qids.begin(), res.qids.end());
+  }
+  return qids;
+}
+
+}  // namespace newton

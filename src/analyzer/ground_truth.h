@@ -1,0 +1,42 @@
+// Exact reference evaluation of queries over a trace.
+//
+// Runs the query semantics with exact containers (hash sets / maps instead
+// of Bloom filters / Count-Min sketches), windowed like the data plane.
+// Used as ground truth for the accuracy experiments (Fig. 14) and as the
+// oracle for end-to-end tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/query.h"
+#include "packet/fields.h"
+#include "trace/trace_gen.h"
+
+namespace newton {
+
+using KeyArray = std::array<uint32_t, kNumFields>;
+using KeySet = std::set<KeyArray>;
+
+struct BranchTruth {
+  // Window index -> keys whose chain fully passed (incl. threshold).
+  std::map<uint64_t, KeySet> passing;
+  // Window index -> all candidate keys that reached the final aggregation
+  // (the negative universe for false-positive rates).
+  std::map<uint64_t, KeySet> universe;
+};
+
+struct QueryTruth {
+  std::vector<BranchTruth> branches;
+
+  // Union across windows of one branch's passing keys.
+  KeySet passing_union(std::size_t branch) const;
+};
+
+// Exactly evaluate `q` over `trace` (windows of q.window_ns).
+QueryTruth exact_truth(const Query& q, const Trace& trace);
+
+}  // namespace newton

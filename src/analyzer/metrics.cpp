@@ -1,0 +1,21 @@
+#include "analyzer/metrics.h"
+
+namespace newton {
+
+Accuracy score(const KeySet& detected, const KeySet& truth,
+               const KeySet& universe) {
+  Accuracy a;
+  for (const KeyArray& k : detected) {
+    if (truth.contains(k))
+      ++a.tp;
+    else
+      ++a.fp;
+  }
+  for (const KeyArray& k : truth)
+    if (!detected.contains(k)) ++a.fn;
+  for (const KeyArray& k : universe)
+    if (!truth.contains(k) && !detected.contains(k)) ++a.tn;
+  return a;
+}
+
+}  // namespace newton

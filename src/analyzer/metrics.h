@@ -1,0 +1,34 @@
+// Detection-accuracy metrics comparing data-plane results against the exact
+// ground truth (Fig. 14 reports accuracy and false-positive rates).
+#pragma once
+
+#include <cstddef>
+
+#include "analyzer/ground_truth.h"
+
+namespace newton {
+
+struct Accuracy {
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+
+  double precision() const {
+    return tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double recall() const {
+    return tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+  double fpr() const {
+    return fp + tn == 0 ? 0.0 : static_cast<double>(fp) / (fp + tn);
+  }
+};
+
+// Compare a detected key set against truth; `universe` supplies the
+// negatives (candidate keys that should not be detected).
+Accuracy score(const KeySet& detected, const KeySet& truth,
+               const KeySet& universe);
+
+}  // namespace newton

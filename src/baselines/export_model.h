@@ -1,0 +1,29 @@
+// Behavioural models of the monitoring-data export mechanisms Newton is
+// compared against in Fig. 12/13.  The evaluation metric is the ratio of
+// monitoring messages to raw packets; each model reproduces what its system
+// sends off-switch per packet, per flow, or per epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "packet/packet.h"
+#include "trace/trace_gen.h"
+
+namespace newton {
+
+class ExportModel {
+ public:
+  virtual ~ExportModel() = default;
+  virtual void on_packet(const Packet& p) = 0;
+  virtual void on_epoch_end() {}
+  virtual uint64_t messages() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Feed a trace through a model with the given epoch; returns
+// messages / packets (the monitoring overhead of Fig. 12).
+double overhead_over_trace(ExportModel& m, const Trace& t,
+                           uint64_t epoch_ns = 100'000'000);
+
+}  // namespace newton

@@ -1,0 +1,33 @@
+// SCREAM (CoNEXT'15) export model: per-task sketches whose counters are
+// pulled by the controller every epoch for estimation and resource
+// reallocation.  Export volume = sketch size / epoch, independent of
+// traffic but paid per task per epoch.
+#pragma once
+
+#include "baselines/export_model.h"
+
+namespace newton {
+
+class ScreamModel : public ExportModel {
+ public:
+  ScreamModel(std::size_t rows = 3, std::size_t width = 4'096,
+              std::size_t counters_per_message = 64)
+      : rows_(rows), width_(width),
+        counters_per_message_(counters_per_message) {}
+
+  void on_packet(const Packet&) override {}
+  void on_epoch_end() override {
+    const std::size_t counters = rows_ * width_;
+    messages_ += (counters + counters_per_message_ - 1) / counters_per_message_;
+  }
+  uint64_t messages() const override { return messages_; }
+  std::string name() const override { return "Scream"; }
+
+ private:
+  std::size_t rows_;
+  std::size_t width_;
+  std::size_t counters_per_message_;
+  uint64_t messages_ = 0;
+};
+
+}  // namespace newton

@@ -1,0 +1,41 @@
+#include "baselines/sonata.h"
+
+namespace newton {
+
+std::vector<std::pair<double, double>> SonataUpdateModel::throughput_timeline(
+    std::size_t forwarding_entries, double t_update_s, double horizon_s,
+    double step_s) const {
+  std::vector<std::pair<double, double>> out;
+  const double outage = interruption_seconds(forwarding_entries);
+  for (double t = 0; t <= horizon_s; t += step_s) {
+    const bool down = t >= t_update_s && t < t_update_s + outage;
+    out.push_back({t, down ? 0.0 : 1.0});
+  }
+  return out;
+}
+
+SonataFootprint estimate_sonata(const Query& q) {
+  SonataFootprint fp;
+  fp.tables = 2;  // ingress classification + report/mirror table
+  for (const BranchDef& b : q.branches) {
+    for (const Primitive& p : b.primitives) {
+      switch (p.kind) {
+        case PrimitiveKind::Filter:
+        case PrimitiveKind::Map:
+        case PrimitiveKind::When:
+          fp.tables += 1;
+          break;
+        case PrimitiveKind::Distinct:
+        case PrimitiveKind::Reduce:
+          fp.tables += 1 + 2 * q.sketch_depth;
+          break;
+      }
+    }
+  }
+  // Compiled stateful P4 chains serialize almost fully; Jose et al.-style
+  // packing fits roughly 4 logical tables into 3 stages.
+  fp.stages = (fp.tables * 3 + 3) / 4;
+  return fp;
+}
+
+}  // namespace newton

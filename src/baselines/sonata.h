@@ -1,0 +1,54 @@
+// Sonata (SIGCOMM'18) comparison models.
+//
+// Sonata's data-plane export is as precise as Newton's (both only export
+// intent-relevant data), so Fig. 12 shows them together at the bottom.  The
+// differences Newton exploits are:
+//   1. Updates: Sonata compiles queries into the P4 program, so changing
+//      queries reloads the program — the switch stops forwarding for the
+//      reboot plus the time to restore forwarding table entries (Fig. 10).
+//   2. Compiler footprint: logical tables / stages per query, estimated in
+//      the style of Jose et al. [55] (Fig. 15's Sonata bars).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/query.h"
+
+namespace newton {
+
+// --- Update interruption model (Fig. 10) -----------------------------------
+struct SonataUpdateModel {
+  // Fixed cost: ASIC reset, program load, port bring-up (§6.1 observes
+  // ~7.5 s of zero throughput on switch.p4 alone).
+  double reboot_seconds = 7.5;
+  // Per-table-entry restore cost once the program is reloaded (TCAM/SRAM
+  // writes through the driver); §6.1 reports ~0.5 min at 60K entries.
+  double per_entry_restore_ms = 0.45;
+
+  double interruption_seconds(std::size_t forwarding_entries) const {
+    return reboot_seconds +
+           per_entry_restore_ms * static_cast<double>(forwarding_entries) /
+               1000.0;
+  }
+
+  // Throughput timeline around an update at `t_update_s` (Fig. 10(a)):
+  // samples of (time_s, throughput_fraction).
+  std::vector<std::pair<double, double>> throughput_timeline(
+      std::size_t forwarding_entries, double t_update_s = 2.0,
+      double horizon_s = 20.0, double step_s = 0.25) const;
+};
+
+// --- Compiler footprint estimate (Fig. 15) ----------------------------------
+struct SonataFootprint {
+  std::size_t tables = 0;
+  std::size_t stages = 0;
+};
+
+// Estimate per the [55]-style model: one logical table per stateless
+// primitive, 1 + 2*depth tables per sketch-backed stateful primitive
+// (hash + per-row state), plus ingress classification and report tables;
+// stateful dependencies serialize, so stages track the table chain.
+SonataFootprint estimate_sonata(const Query& q);
+
+}  // namespace newton

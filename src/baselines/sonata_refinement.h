@@ -1,0 +1,48 @@
+// Sonata's dynamic refinement (SIGCOMM'18), the contrast §2.2 draws:
+// "Sonata dynamically refines the traffic monitoring scope for better
+// accuracy but still falls short of supporting dynamic query operations."
+//
+// Refinement runs a fixed query whose key granularity starts coarse
+// (e.g. /8 prefixes) and, window by window, zooms into the prefixes that
+// exceeded the threshold, until reaching full /32 keys.  The P4 program
+// never changes — only the prefix filter entries — but pinpointing a /32
+// victim takes one window per refinement level, whereas Newton installs
+// the precise query directly and detects within one window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "packet/packet.h"
+#include "trace/trace_gen.h"
+
+namespace newton {
+
+class SonataRefinement {
+ public:
+  // Refinement ladder over dip prefixes, e.g. {8, 16, 24, 32}.
+  SonataRefinement(std::vector<uint8_t> levels, uint64_t threshold,
+                   uint64_t window_ns = 100'000'000);
+
+  // Feed the trace in timestamp order; returns for each detected /32 dip
+  // the window index in which it was finally pinned down.
+  struct Detection {
+    uint32_t dip;
+    uint64_t window;        // window of final /32 detection
+    uint64_t first_window;  // window the coarse anomaly first appeared
+  };
+  std::vector<Detection> run(const Trace& t,
+                             bool count_syn_only = true);
+
+  // Windows needed to pin a /32 from a standing start (the ladder depth).
+  std::size_t levels() const { return levels_.size(); }
+
+ private:
+  std::vector<uint8_t> levels_;
+  uint64_t threshold_;
+  uint64_t window_ns_;
+};
+
+}  // namespace newton

@@ -1,0 +1,37 @@
+// *Flow (ATC'18) export model: the switch groups per-packet feature tuples
+// into grouped packet vectors (GPVs) in a cache; a GPV is exported when its
+// vector fills or when a colliding flow claims its slot.  Every packet's
+// features eventually leave the switch, so export volume is proportional
+// to traffic volume (ratio ~ 1/GPV-capacity).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "baselines/export_model.h"
+#include "packet/flow_key.h"
+
+namespace newton {
+
+class StarFlowModel : public ExportModel {
+ public:
+  StarFlowModel(std::size_t cache_slots = 8'192, std::size_t gpv_capacity = 6)
+      : gpv_capacity_(gpv_capacity), slots_(cache_slots) {}
+
+  void on_packet(const Packet& p) override;
+  void on_epoch_end() override;
+  uint64_t messages() const override { return messages_; }
+  std::string name() const override { return "*Flow"; }
+
+ private:
+  struct Gpv {
+    FiveTuple key;
+    std::size_t pkts = 0;
+  };
+
+  std::size_t gpv_capacity_;
+  std::vector<std::optional<Gpv>> slots_;
+  uint64_t messages_ = 0;
+};
+
+}  // namespace newton

@@ -1,0 +1,32 @@
+// TurboFlow (EuroSys'18) export model: the switch aggregates per-flow
+// counters in a fixed-size hash table of microflow records; a hash
+// collision evicts the resident record to the CPU as a flow record, and the
+// epoch flush exports everything live.  Export volume therefore tracks the
+// number of flows (plus collision churn), growing with traffic volume —
+// the scalability limit §2.2 describes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "baselines/export_model.h"
+#include "packet/flow_key.h"
+
+namespace newton {
+
+class TurboFlowModel : public ExportModel {
+ public:
+  explicit TurboFlowModel(std::size_t table_slots = 16'384)
+      : slots_(table_slots) {}
+
+  void on_packet(const Packet& p) override;
+  void on_epoch_end() override;
+  uint64_t messages() const override { return messages_; }
+  std::string name() const override { return "TurboFlow"; }
+
+ private:
+  std::vector<std::optional<FiveTuple>> slots_;
+  uint64_t messages_ = 0;
+};
+
+}  // namespace newton

@@ -1,0 +1,61 @@
+#include "core/controller.h"
+
+#include <stdexcept>
+
+namespace newton {
+
+std::size_t Controller::chain_min_stage(const Query& q) const {
+  // Compile cheaply at stage 0 just to obtain the init entries.
+  std::size_t min_stage = 0;
+  for (std::size_t bi = 0; bi < q.branches.size(); ++bi) {
+    const BranchModules probe = decompose_branch(q, bi, /*opt1=*/true);
+    for (const auto& [name, e] : queries_) {
+      for (const auto& b : e.cq.branches) {
+        if (probe.init.overlaps(b.init))
+          min_stage = std::max(min_stage, e.cq.max_stage() + 1);
+      }
+    }
+  }
+  return min_stage;
+}
+
+Controller::OpStats Controller::install(const Query& q, CompileOptions opts) {
+  if (queries_.contains(q.name))
+    throw std::invalid_argument("Controller: query already installed: " +
+                                q.name);
+  opts.min_stage = std::max(opts.min_stage, chain_min_stage(q));
+  CompiledQuery cq = compile_query(q, opts);
+  const auto res = sw_.install(cq);
+  queries_[q.name] = {res.handle, std::move(cq)};
+  return {res.latency_ms, res.rule_ops};
+}
+
+Controller::OpStats Controller::remove(const std::string& name) {
+  auto it = queries_.find(name);
+  if (it == queries_.end())
+    throw std::invalid_argument("Controller: unknown query: " + name);
+  const CompiledQuery& cq = it->second.cq;
+  const std::size_t ops = cq.num_table_entries();
+  const double ms = sw_.remove(it->second.handle);
+  queries_.erase(it);
+  return {ms, ops};
+}
+
+Controller::OpStats Controller::update(const std::string& name,
+                                       const Query& new_q,
+                                       CompileOptions opts) {
+  const OpStats rm = remove(name);
+  Query q = new_q;
+  q.name = name;
+  const OpStats ins = install(q, opts);
+  // One controller->switch batch: overheads amortize.
+  return {rm.latency_ms + ins.latency_ms - 1.0,
+          rm.rule_ops + ins.rule_ops};
+}
+
+const CompiledQuery* Controller::compiled(const std::string& name) const {
+  const auto it = queries_.find(name);
+  return it == queries_.end() ? nullptr : &it->second.cq;
+}
+
+}  // namespace newton

@@ -1,0 +1,59 @@
+// Device-level Newton controller (§3): compiles queries to module rules and
+// drives runtime install / update / remove against one switch.  Queries
+// whose traffic classes overlap an installed query are automatically
+// *chained* into later stages (they share the physical metadata sets — the
+// S-Newton regime of Fig. 16); disjoint-traffic queries multiplex the same
+// module instances with new rules (P-Newton).
+//
+// Network-wide deployment (Algorithm 2 + CQE) lives in src/net.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/newton_switch.h"
+#include "core/queries.h"
+
+namespace newton {
+
+class Controller {
+ public:
+  explicit Controller(NewtonSwitch& sw) : sw_(sw) {}
+
+  struct OpStats {
+    double latency_ms = 0;
+    std::size_t rule_ops = 0;
+  };
+
+  // Compile and install; throws if the switch cannot host the query.
+  OpStats install(const Query& q, CompileOptions opts = {});
+
+  // Remove a query by name.
+  OpStats remove(const std::string& name);
+
+  // Update = remove the old rules and install the new compilation as one
+  // rule batch.  Forwarding is never interrupted (contrast Fig. 10).
+  OpStats update(const std::string& name, const Query& new_q,
+                 CompileOptions opts = {});
+
+  bool installed(const std::string& name) const {
+    return queries_.contains(name);
+  }
+  const CompiledQuery* compiled(const std::string& name) const;
+  std::size_t num_installed() const { return queries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t handle;
+    CompiledQuery cq;
+  };
+
+  // Lowest stage the new compilation may use given traffic overlap with
+  // already-installed queries.
+  std::size_t chain_min_stage(const Query& q) const;
+
+  NewtonSwitch& sw_;
+  std::map<std::string, Entry> queries_;
+};
+
+}  // namespace newton

@@ -1,0 +1,269 @@
+#include "core/cqe.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace newton {
+namespace {
+
+struct Liveness {
+  std::vector<int> hash_sets;   // sets whose hash result crosses the cut
+  std::vector<int> state_sets;  // sets whose state result crosses the cut
+  std::vector<int> key_sets;    // sets whose operation keys cross the cut
+};
+
+// Values written strictly before `cut` (in compressed-stage rank) and read
+// at or after it.
+Liveness liveness_at(const std::vector<ModuleSpec>& chain, int cut) {
+  Liveness live;
+  for (int set = 0; set < 2; ++set) {
+    bool hash_w = false, state_w = false, keys_w = false;
+    bool hash_r = false, state_r = false, keys_r = false;
+    for (const ModuleSpec& m : chain) {
+      if (m.set != set) continue;
+      const bool before = m.stage < cut;
+      switch (m.type) {
+        case ModuleType::K:
+          if (before) keys_w = true;
+          break;
+        case ModuleType::H:
+          if (before) hash_w = true;
+          else keys_r = true;
+          // A later H re-writes the hash; liveness only needs the earliest
+          // reader, so over-approximation here is safe.
+          break;
+        case ModuleType::S:
+          if (before) state_w = true;
+          else hash_r = true;
+          break;
+        case ModuleType::R:
+          if (!before && (m.r.combine != RCombine::None ||
+                          !m.r.match_on_global))
+            state_r = true;
+          // A reporting R mirrors the set's operation keys to the analyzer,
+          // so it reads the keys too.
+          if (!before && (m.r.on_match == RAction::Report ||
+                          m.r.on_match == RAction::ReportStop ||
+                          m.r.on_miss == RAction::Report ||
+                          m.r.on_miss == RAction::ReportStop))
+            keys_r = true;
+          break;
+      }
+    }
+    // Refine: a value is live only if the first post-cut reader precedes any
+    // post-cut writer of the same field.
+    auto first_stage = [&](ModuleType t, bool reader) {
+      int best = INT32_MAX;
+      for (const ModuleSpec& m : chain) {
+        if (m.set != set || m.stage < cut) continue;
+        if (!reader && m.type == t) best = std::min(best, m.stage);
+        if (reader) {
+          if (t == ModuleType::K &&
+              (m.type == ModuleType::H ||
+               (m.type == ModuleType::R &&
+                (m.r.on_match == RAction::Report ||
+                 m.r.on_match == RAction::ReportStop ||
+                 m.r.on_miss == RAction::Report ||
+                 m.r.on_miss == RAction::ReportStop))))
+            best = std::min(best, m.stage);
+          if (t == ModuleType::H && m.type == ModuleType::S)
+            best = std::min(best, m.stage);
+          if (t == ModuleType::S && m.type == ModuleType::R &&
+              (m.r.combine != RCombine::None || !m.r.match_on_global))
+            best = std::min(best, m.stage);
+        }
+      }
+      return best;
+    };
+    if (keys_w && keys_r &&
+        first_stage(ModuleType::K, true) < first_stage(ModuleType::K, false))
+      live.key_sets.push_back(set);
+    if (hash_w && hash_r &&
+        first_stage(ModuleType::H, true) < first_stage(ModuleType::H, false))
+      live.hash_sets.push_back(set);
+    if (state_w && state_r &&
+        first_stage(ModuleType::S, true) < first_stage(ModuleType::S, false))
+      live.state_sets.push_back(set);
+  }
+  return live;
+}
+
+}  // namespace
+
+std::vector<QuerySlice> slice_query(const CompiledQuery& cq,
+                                    std::size_t stages_per_switch) {
+  if (stages_per_switch == 0)
+    throw std::invalid_argument("slice_query: stages_per_switch must be > 0");
+  if (cq.branches.size() != 1)
+    throw std::invalid_argument(
+        "slice_query: CQE slicing supports single-branch queries (the SP "
+        "header describes one execution context)");
+
+  // Compress stages to consecutive ranks.
+  std::vector<ModuleSpec> chain = cq.branches[0].modules;
+  std::set<int> stage_set;
+  for (const ModuleSpec& m : chain) stage_set.insert(m.stage);
+  std::map<int, int> rank;
+  int r = 0;
+  for (int s : stage_set) rank[s] = r++;
+  for (ModuleSpec& m : chain) m.stage = rank[m.stage];
+  const int total_stages = r;
+
+  const int n = static_cast<int>(stages_per_switch);
+  std::vector<int> cuts;  // slice i covers [cuts[i], cuts[i+1])
+  cuts.push_back(0);
+  while (cuts.back() < total_stages) {
+    const int begin = cuts.back();
+    // A cut with live keys costs this chunk one stage for the duplicated K.
+    const bool incoming_keys =
+        begin > 0 && !liveness_at(chain, begin).key_sets.empty();
+    const int capacity = std::max(1, n - (incoming_keys ? 1 : 0));
+    int end = std::min(begin + capacity, total_stages);
+    // Shrink until the carried values fit the SP header.  A cut needing a
+    // key re-derivation costs one extra stage in the NEXT slice for the
+    // duplicated K, which we account for by reserving a stage.
+    while (end > begin) {
+      if (end == total_stages) break;  // no boundary after the last slice
+      const Liveness lv = liveness_at(chain, end);
+      const bool fits = lv.hash_sets.size() <= 1 &&
+                        lv.state_sets.size() <= 1 && lv.key_sets.size() <= 1;
+      if (fits) break;
+      --end;
+    }
+    if (end == begin)
+      throw std::runtime_error(
+          "slice_query: cannot cut query within SP header carry limits");
+    cuts.push_back(end);
+  }
+
+  const std::size_t total = cuts.size() - 1;
+  std::vector<QuerySlice> slices;
+  for (std::size_t i = 0; i < total; ++i) {
+    const int begin = cuts[i], end = cuts[i + 1];
+    QuerySlice sl;
+    sl.index = i;
+    sl.total = total;
+    sl.final_slice = i + 1 == total;
+
+    const Liveness in_lv = liveness_at(chain, begin);
+    const Liveness out_lv = liveness_at(chain, end);
+    if (i > 0) {
+      if (!in_lv.hash_sets.empty()) sl.in_hash_set = in_lv.hash_sets[0];
+      if (!in_lv.state_sets.empty()) sl.in_state_set = in_lv.state_sets[0];
+    }
+    if (!sl.final_slice) {
+      if (!out_lv.hash_sets.empty()) sl.out_hash_set = out_lv.hash_sets[0];
+      if (!out_lv.state_sets.empty()) sl.out_state_set = out_lv.state_sets[0];
+    }
+
+    BranchModules part;
+    part.name = cq.branches[0].name + "/slice" + std::to_string(i);
+    part.branch_index = 0;
+    part.init = cq.branches[0].init;
+    // Key re-derivation: duplicate the K whose keys are live into this cut.
+    int shift = in_lv.key_sets.empty() || i == 0 ? 0 : 1;
+    if (shift) {
+      for (int set : in_lv.key_sets) {
+        // Find the latest K of that set before the cut.
+        const ModuleSpec* src = nullptr;
+        for (const ModuleSpec& m : chain)
+          if (m.type == ModuleType::K && m.set == set && m.stage < begin)
+            src = &m;
+        if (src == nullptr) continue;
+        ModuleSpec dup = *src;
+        dup.stage = 0;
+        part.modules.push_back(dup);
+      }
+      if (part.modules.empty()) shift = 0;
+    }
+    for (const ModuleSpec& m : chain) {
+      if (m.stage < begin || m.stage >= end) continue;
+      ModuleSpec copy = m;
+      copy.stage = m.stage - begin + shift;
+      part.modules.push_back(copy);
+    }
+    if (static_cast<std::size_t>(end - begin + shift) > stages_per_switch)
+      throw std::runtime_error(
+          "slice_query: K re-derivation overflows the per-switch stages");
+
+    sl.part.name = cq.name + "/slice" + std::to_string(i);
+    sl.part.source = cq.source;
+    sl.part.options = cq.options;
+    sl.part.branches.push_back(std::move(part));
+    slices.push_back(std::move(sl));
+  }
+  return slices;
+}
+
+std::vector<QuerySlice> slice_query_structural(const CompiledQuery& cq,
+                                               std::size_t stages_per_switch) {
+  if (stages_per_switch == 0)
+    throw std::invalid_argument("slice_query_structural: stages must be > 0");
+  // Compress stages to ranks (any branch structure is fine here: this
+  // slicing only feeds entry accounting, not execution).
+  std::set<int> stage_set;
+  for (const auto& b : cq.branches)
+    for (const auto& m : b.modules) stage_set.insert(m.stage);
+  std::map<int, int> rank;
+  int r = 0;
+  for (int s : stage_set) rank[s] = r++;
+  const std::size_t total = static_cast<std::size_t>(r);
+  const std::size_t m_parts =
+      (total + stages_per_switch - 1) / stages_per_switch;
+
+  std::vector<QuerySlice> slices(m_parts);
+  for (std::size_t i = 0; i < m_parts; ++i) {
+    QuerySlice& sl = slices[i];
+    sl.index = i;
+    sl.total = m_parts;
+    sl.final_slice = i + 1 == m_parts;
+    sl.part.name = cq.name + "/part" + std::to_string(i);
+    sl.part.source = cq.source;
+    sl.part.options = cq.options;
+  }
+  for (const auto& b : cq.branches) {
+    std::vector<BranchModules> parts(m_parts);
+    for (std::size_t i = 0; i < m_parts; ++i) {
+      parts[i].name = b.name + "/part" + std::to_string(i);
+      parts[i].branch_index = b.branch_index;
+      parts[i].init = b.init;
+      parts[i].chain_group = b.chain_group;
+    }
+    for (const ModuleSpec& m : b.modules) {
+      const std::size_t rk = static_cast<std::size_t>(rank[m.stage]);
+      const std::size_t part = rk / stages_per_switch;
+      ModuleSpec copy = m;
+      copy.stage = static_cast<int>(rk % stages_per_switch);
+      parts[part].modules.push_back(copy);
+    }
+    for (std::size_t i = 0; i < m_parts; ++i)
+      if (!parts[i].modules.empty())
+        slices[i].part.branches.push_back(std::move(parts[i]));
+  }
+  return slices;
+}
+
+void resolve_slice_offsets(std::vector<QuerySlice>& slices,
+                           std::vector<RangeAllocator>& per_stage) {
+  for (QuerySlice& sl : slices) {
+    for (auto& b : sl.part.branches) {
+      for (ModuleSpec& m : b.modules) {
+        if (m.type != ModuleType::S || m.s.bypass || m.alloc_width == 0)
+          continue;
+        const auto stage = static_cast<std::size_t>(m.stage);
+        if (stage >= per_stage.size())
+          throw std::runtime_error("resolve_slice_offsets: stage out of range");
+        auto off = per_stage[stage].allocate(m.alloc_width);
+        if (!off)
+          throw std::runtime_error(
+              "resolve_slice_offsets: virtual state bank exhausted");
+        m.alloc_offset = static_cast<uint32_t>(*off);
+        m.s.index_base = m.alloc_offset;
+      }
+    }
+  }
+}
+
+}  // namespace newton

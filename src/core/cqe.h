@@ -1,0 +1,63 @@
+// Cross-switch query execution (CQE, §5.1): slicing a compiled query into
+// per-switch partitions connected by the result-snapshot (SP) header.
+//
+// Algorithm 2's premise: a query's stages are sequential and every switch
+// contributes N module stages, so a query of |C| stages needs M = ceil(|C|/N)
+// switches.  The slicer cuts the compiled schedule at stage boundaries such
+// that the live values crossing each cut fit in the 12-byte SP header:
+// at most one live hash result, at most one live state result, plus the
+// global result (operation keys never travel — the slicer re-inserts a K
+// duplicate in the next slice and re-derives keys from packet headers).
+// Cuts are moved earlier when a boundary would need more carried state, so
+// a slice may use fewer than N stages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/compose.h"
+#include "core/range_alloc.h"
+
+namespace newton {
+
+struct QuerySlice {
+  CompiledQuery part;        // module subset, stages remapped to 0..
+  std::size_t index = 0;     // position in the slice sequence
+  std::size_t total = 1;
+  bool final_slice = true;
+
+  // Ingress restore plan: which metadata set the SP header's hash/state
+  // fields belong to (nullopt: nothing carried in).
+  std::optional<int> in_hash_set;
+  std::optional<int> in_state_set;
+  // Egress snapshot plan for the next boundary.
+  std::optional<int> out_hash_set;
+  std::optional<int> out_state_set;
+};
+
+// Slice a single-branch compiled query for switches offering
+// `stages_per_switch` module stages.  Throws if the query has multiple
+// branches (the SP header describes one execution context) or if some cut
+// cannot satisfy the carry constraints.
+std::vector<QuerySlice> slice_query(const CompiledQuery& cq,
+                                    std::size_t stages_per_switch);
+
+// Structural slicing for placement analysis (Algorithm 2's premise): cut
+// purely by stage count into M = ceil(|C|/N) parts, without carry-
+// feasibility checks or K re-derivation.  Use for entry accounting
+// (Fig. 17); functional CQE execution must use slice_query, whose cuts the
+// SP header can actually carry.
+std::vector<QuerySlice> slice_query_structural(const CompiledQuery& cq,
+                                               std::size_t stages_per_switch);
+
+// Centrally resolve register offsets for a slice sequence.  Because a slice
+// is replicated onto many switches (Algorithm 2) and an H may live one
+// switch upstream of its S, offsets must be identical everywhere: the
+// network controller allocates from one virtual per-stage allocator
+// mirroring the (uniform) switch state banks, writes the offsets into the
+// specs, and switches later *reserve* those exact ranges.
+void resolve_slice_offsets(std::vector<QuerySlice>& slices,
+                           std::vector<class RangeAllocator>& per_stage);
+
+}  // namespace newton

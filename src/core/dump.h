@@ -1,0 +1,23 @@
+// Human-readable dumps of queries, compiled schedules, and installed
+// tables — the operator-facing views of what actually runs on the switch.
+#pragma once
+
+#include <string>
+
+#include "core/compose.h"
+#include "core/newton_switch.h"
+#include "core/query.h"
+
+namespace newton {
+
+// The query as the operator wrote it (primitive chain per branch).
+std::string dump_query(const Query& q);
+
+// The compiled schedule: a stage x module grid with set labels, plus the
+// init entries — the "Figure 6 view" of a query.
+std::string dump_compiled(const CompiledQuery& cq);
+
+// Per-stage rule occupancy of a running switch.
+std::string dump_switch(const NewtonSwitch& sw);
+
+}  // namespace newton

@@ -1,0 +1,44 @@
+#include "core/layout.h"
+
+#include <memory>
+#include <string>
+
+namespace newton {
+
+ModuleInstances build_compact_layout(Pipeline& pipe, ReportSink* sink,
+                                     uint32_t switch_id,
+                                     std::size_t bank_registers) {
+  ModuleInstances inst;
+  const std::size_t n = pipe.num_stages();
+  inst.k.resize(n);
+  inst.h.resize(n);
+  inst.s.resize(n);
+  inst.r.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string suffix = "@s" + std::to_string(i);
+    auto k = std::make_shared<KModule>("K" + suffix);
+    auto h = std::make_shared<HModule>("H" + suffix);
+    auto s = std::make_shared<SModule>("S" + suffix, bank_registers);
+    auto r = std::make_shared<RModule>("R" + suffix, sink, switch_id);
+    inst.k[i] = k.get();
+    inst.h[i] = h.get();
+    inst.s[i] = s.get();
+    inst.r[i] = r.get();
+    // Execution order within a stage follows insertion order; the composer
+    // guarantees no intra-stage data dependencies, so any order is valid.
+    pipe.stage(i).add(std::move(k));
+    pipe.stage(i).add(std::move(h));
+    pipe.stage(i).add(std::move(s));
+    pipe.stage(i).add(std::move(r));
+  }
+  return inst;
+}
+
+ResourceVec compact_stage_usage() {
+  return k_module_resources() + h_module_resources() + s_module_resources() +
+         r_module_resources();
+}
+
+ResourceVec naive_stage_usage() { return compact_stage_usage() * 0.25; }
+
+}  // namespace newton

@@ -1,0 +1,384 @@
+#include "core/p4gen.h"
+
+#include <sstream>
+
+#include "core/decompose.h"
+#include "core/module_config.h"
+
+namespace newton {
+namespace {
+
+void emit_headers(std::ostream& os) {
+  os << R"(// ---- headers -------------------------------------------------------
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+// Result-snapshot shim (12 bytes, SS 5.1): carried between Newton switches,
+// stripped before end hosts.
+header sp_t {
+    bit<8>  qid;
+    bit<8>  next_slice;
+    bit<16> hash_result;
+    bit<32> state_result;
+    bit<32> global_result;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4>  data_offset;
+    bit<4>  res;
+    bit<8>  flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent_ptr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    sp_t       sp;
+    ipv4_t     ipv4;
+    tcp_t      tcp;
+    udp_t      udp;
+}
+
+// Two independent metadata sets + the global result (SS 4.2): the PHV cost
+// of the compact module layout.
+struct metadata_t {
+    bit<16> qid;          // active query (chains advance it)
+    bit<1>  active;
+    bit<1>  at_ingress;
+    // set 0
+    bit<32> keys0_sip;  bit<32> keys0_dip;
+    bit<16> keys0_sport; bit<16> keys0_dport;
+    bit<8>  keys0_proto; bit<8>  keys0_flags; bit<16> keys0_len;
+    bit<32> hash0;      bit<32> state0;
+    // set 1
+    bit<32> keys1_sip;  bit<32> keys1_dip;
+    bit<16> keys1_sport; bit<16> keys1_dport;
+    bit<8>  keys1_proto; bit<8>  keys1_flags; bit<16> keys1_len;
+    bit<32> hash1;      bit<32> state1;
+    bit<32> global_result;
+}
+
+)";
+}
+
+void emit_parser(std::ostream& os) {
+  os << R"(// ---- parser (SP-aware, SS 5.1) ---------------------------------------
+parser NewtonParser(packet_in pkt, out headers_t hdr,
+                    inout metadata_t meta,
+                    inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x0800: parse_ipv4;
+            0x88B5: parse_sp;
+            default: accept;
+        }
+    }
+    state parse_sp {
+        pkt.extract(hdr.sp);
+        // Initialize result sets from the snapshot.
+        meta.global_result = hdr.sp.global_result;
+        transition parse_ipv4;
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6:  parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp { pkt.extract(hdr.tcp); transition accept; }
+    state parse_udp { pkt.extract(hdr.udp); transition accept; }
+}
+
+)";
+}
+
+void emit_module_actions(std::ostream& os, std::size_t bank) {
+  for (int set = 0; set < 2; ++set) {
+    os << "    // K: bit-mask field selection into set " << set << "\n"
+       << "    action select_keys" << set
+       << "(bit<32> m_sip, bit<32> m_dip, bit<16> m_sport,\n"
+       << "                        bit<16> m_dport, bit<8> m_proto, "
+          "bit<8> m_flags, bit<16> m_len) {\n"
+       << "        meta.keys" << set << "_sip   = hdr.ipv4.src_addr & m_sip;\n"
+       << "        meta.keys" << set << "_dip   = hdr.ipv4.dst_addr & m_dip;\n"
+       << "        meta.keys" << set
+       << "_sport = (hdr.tcp.isValid() ? hdr.tcp.src_port : "
+          "hdr.udp.src_port) & m_sport;\n"
+       << "        meta.keys" << set
+       << "_dport = (hdr.tcp.isValid() ? hdr.tcp.dst_port : "
+          "hdr.udp.dst_port) & m_dport;\n"
+       << "        meta.keys" << set << "_proto = hdr.ipv4.protocol & m_proto;\n"
+       << "        meta.keys" << set
+       << "_flags = (hdr.tcp.isValid() ? hdr.tcp.flags : 0) & m_flags;\n"
+       << "        meta.keys" << set << "_len   = hdr.ipv4.total_len & m_len;\n"
+       << "    }\n";
+    os << "    // H: seeded hash over set-" << set
+       << " keys into [base, base+width)\n"
+       << "    action hash_keys" << set
+       << "(bit<32> seed, bit<32> width, bit<32> base) {\n"
+       << "        hash(meta.hash" << set
+       << ", HashAlgorithm.crc32_custom, base,\n"
+       << "             { seed, meta.keys" << set << "_sip, meta.keys" << set
+       << "_dip, meta.keys" << set << "_sport,\n"
+       << "               meta.keys" << set << "_dport, meta.keys" << set
+       << "_proto, meta.keys" << set << "_flags, meta.keys" << set
+       << "_len }, width);\n"
+       << "    }\n"
+       << "    action hash_direct" << set << "_dport() { meta.hash" << set
+       << " = (bit<32>)meta.keys" << set << "_dport; }\n"
+       << "    action hash_direct" << set << "_len()   { meta.hash" << set
+       << " = (bit<32>)meta.keys" << set << "_len; }\n";
+  }
+  os << "    // (state banks: one register array per stage, " << bank
+     << " cells)\n\n";
+}
+
+void emit_stage(std::ostream& os, std::size_t stage, std::size_t bank,
+                std::size_t rules) {
+  const std::string s = std::to_string(stage);
+  os << "    // ---- stage " << s << ": one K/H/S/R module each ----\n"
+     << "    @stage(" << s << ") table newton_k_" << s << " {\n"
+     << "        key = { meta.qid : exact; }\n"
+     << "        actions = { select_keys0; select_keys1; NoAction; }\n"
+     << "        size = " << rules << ";\n    }\n"
+     << "    @stage(" << s << ") table newton_h_" << s << " {\n"
+     << "        key = { meta.qid : exact; }\n"
+     << "        actions = { hash_keys0; hash_keys1; hash_direct0_dport;\n"
+     << "                    hash_direct1_dport; hash_direct0_len;\n"
+     << "                    hash_direct1_len; NoAction; }\n"
+     << "        size = " << rules << ";\n    }\n"
+     << "    register<bit<32>>(" << bank << ") newton_bank_" << s << ";\n";
+  for (int set = 0; set < 2; ++set) {
+    os << "    action s" << s << "_add" << set
+       << "(bit<32> operand, bit<32> guard_lo, bit<32> guard_hi, bit<32> "
+          "base) {\n"
+       << "        if (meta.hash" << set << " >= guard_lo && meta.hash" << set
+       << " <= guard_hi) {\n"
+       << "            bit<32> v;\n"
+       << "            newton_bank_" << s << ".read(v, base + (meta.hash"
+       << set << " - guard_lo));\n"
+       << "            v = v + operand;\n"
+       << "            newton_bank_" << s << ".write(base + (meta.hash" << set
+       << " - guard_lo), v);\n"
+       << "            meta.state" << set << " = v;\n"
+       << "        } else { meta.state" << set << " = 0xffffffff; }\n"
+       << "    }\n"
+       << "    action s" << s << "_or" << set
+       << "(bit<32> operand, bit<32> guard_lo, bit<32> guard_hi, bit<32> "
+          "base) {\n"
+       << "        if (meta.hash" << set << " >= guard_lo && meta.hash" << set
+       << " <= guard_hi) {\n"
+       << "            bit<32> v;\n"
+       << "            newton_bank_" << s << ".read(v, base + (meta.hash"
+       << set << " - guard_lo));\n"
+       << "            meta.state" << set << " = v;\n"
+       << "            newton_bank_" << s << ".write(base + (meta.hash" << set
+       << " - guard_lo), v | operand);\n"
+       << "        } else { meta.state" << set << " = 0xffffffff; }\n"
+       << "    }\n"
+       << "    action s" << s << "_bypass" << set << "() { meta.state" << set
+       << " = meta.hash" << set << "; }\n";
+  }
+  os << "    @stage(" << s << ") table newton_s_" << s << " {\n"
+     << "        key = { meta.qid : exact; }\n"
+     << "        actions = { s" << s << "_add0; s" << s << "_add1; s" << s
+     << "_or0; s" << s << "_or1;\n                    s" << s << "_bypass0; s"
+     << s << "_bypass1; NoAction; }\n"
+     << "        size = " << rules << ";\n    }\n"
+     << "    @stage(" << s << ") table newton_r_" << s << " {\n"
+     << "        key = { meta.qid : exact; meta.global_result : range; }\n"
+     << "        actions = { r_set0; r_set1; r_min0; r_min1; r_report;\n"
+     << "                    r_stop; r_report_stop; NoAction; }\n"
+     << "        size = " << rules << ";\n    }\n\n";
+}
+
+void emit_r_actions(std::ostream& os) {
+  os << R"(    // R: combine into the global result, then act.
+    action r_set0()  { meta.global_result = meta.state0; }
+    action r_set1()  { meta.global_result = meta.state1; }
+    action r_min0()  { if (meta.state0 < meta.global_result) meta.global_result = meta.state0; }
+    action r_min1()  { if (meta.state1 < meta.global_result) meta.global_result = meta.state1; }
+    action r_report()      { clone(CloneType.I2E, NEWTON_MIRROR_SESSION); }
+    action r_stop()        { meta.active = 0; }
+    action r_report_stop() { clone(CloneType.I2E, NEWTON_MIRROR_SESSION); meta.active = 0; }
+
+)";
+}
+
+void emit_init_fin(std::ostream& os, std::size_t rules) {
+  os << "    action set_query(bit<16> qid) { meta.qid = qid; meta.active = 1; }\n"
+     << "    table newton_init {\n"
+     << "        key = {\n"
+     << "            hdr.ipv4.src_addr : ternary;\n"
+     << "            hdr.ipv4.dst_addr : ternary;\n"
+     << "            meta.keys0_sport  : ternary;  // parsed transport ports\n"
+     << "            meta.keys0_dport  : ternary;\n"
+     << "            hdr.ipv4.protocol : ternary;\n"
+     << "            meta.keys0_flags  : ternary;\n"
+     << "            meta.at_ingress   : ternary;\n"
+     << "        }\n"
+     << "        actions = { set_query; NoAction; }\n"
+     << "        size = " << rules << ";\n    }\n"
+     << R"(
+    // newton_fin: snapshot the result sets toward the next Newton hop, or
+    // strip the shim before the packet reaches an end host.
+    action emit_snapshot(bit<8> next_slice) {
+        hdr.sp.setValid();
+        hdr.ethernet.ether_type = 0x88B5;
+        hdr.sp.qid           = (bit<8>)meta.qid;
+        hdr.sp.next_slice    = next_slice;
+        hdr.sp.state_result  = meta.state0;
+        hdr.sp.hash_result   = (bit<16>)meta.hash1;
+        hdr.sp.global_result = meta.global_result;
+    }
+    action strip_snapshot() {
+        hdr.sp.setInvalid();
+        hdr.ethernet.ether_type = 0x0800;
+    }
+    table newton_fin {
+        key = { meta.qid : exact; std_meta.egress_spec : ternary; }
+        actions = { emit_snapshot; strip_snapshot; NoAction; }
+    }
+
+)";
+}
+
+}  // namespace
+
+std::string generate_p4_program(const P4GenOptions& opts) {
+  std::ostringstream os;
+  os << "// Auto-generated by newton::generate_p4_program — the\n"
+     << "// initialization-time module layout (SS 3 workflow).  Queries are\n"
+     << "// realized at runtime purely by table rules; reloading this\n"
+     << "// program is never needed for query operations.\n"
+     << "#include <core.p4>\n#include <v1model.p4>\n\n"
+     << "#define NEWTON_MIRROR_SESSION 250\n\n";
+  emit_headers(os);
+  emit_parser(os);
+
+  os << "control NewtonIngress(inout headers_t hdr, inout metadata_t meta,\n"
+     << "                      inout standard_metadata_t std_meta) {\n";
+  emit_module_actions(os, opts.bank_registers);
+  emit_r_actions(os);
+  emit_init_fin(os, opts.rules_per_module);
+  for (std::size_t s = 0; s < opts.stages; ++s)
+    emit_stage(os, s, opts.bank_registers, opts.rules_per_module);
+
+  os << "    apply {\n"
+     << "        newton_init.apply();\n"
+     << "        if (meta.active == 1) {\n";
+  for (std::size_t s = 0; s < opts.stages; ++s)
+    os << "            newton_k_" << s << ".apply(); newton_h_" << s
+       << ".apply();\n            newton_s_" << s << ".apply(); newton_r_"
+       << s << ".apply();\n";
+  os << "            newton_fin.apply();\n"
+     << "        }\n    }\n}\n\n"
+     << "// (egress, checksum and deparser controls elided to the standard\n"
+     << "//  v1model boilerplate; the deparser emits ethernet, sp (if\n"
+     << "//  valid), ipv4, tcp/udp in order.)\n";
+  return os.str();
+}
+
+std::string generate_rule_script(const CompiledQuery& cq, uint16_t qid_base) {
+  std::ostringstream os;
+  os << "# Runtime rules for query '" << cq.name << "' — "
+     << cq.num_modules() << " module rules + " << cq.num_init_entries()
+     << " init entries\n";
+  for (std::size_t bi = 0; bi < cq.branches.size(); ++bi) {
+    const auto& b = cq.branches[bi];
+    const unsigned qid = qid_base + static_cast<unsigned>(bi);
+    os << "# branch " << b.name << " (qid " << qid << ")\n";
+    // newton_init entry.
+    os << "table_add newton_init set_query ";
+    for (const MatchWord& w : b.init.key)
+      os << w.value << "&&&" << w.mask << " ";
+    os << "1&&&1 => " << qid << " " << b.init.priority << "\n";
+    for (const ModuleSpec& m : b.modules) {
+      if (!m.rule_needed && m.type != ModuleType::K) continue;
+      const std::string stage = std::to_string(m.stage);
+      switch (m.type) {
+        case ModuleType::K:
+          os << "table_add newton_k_" << stage << " select_keys" << m.set
+             << " " << qid << " =>";
+          os << " " << m.k.masks[index(Field::SrcIp)] << " "
+             << m.k.masks[index(Field::DstIp)] << " "
+             << m.k.masks[index(Field::SrcPort)] << " "
+             << m.k.masks[index(Field::DstPort)] << " "
+             << m.k.masks[index(Field::Proto)] << " "
+             << m.k.masks[index(Field::TcpFlags)] << " "
+             << m.k.masks[index(Field::PktLen)] << "\n";
+          break;
+        case ModuleType::H:
+          if (m.h.direct)
+            os << "table_add newton_h_" << stage << " hash_direct" << m.set
+               << "_" << (m.h.direct_field == Field::PktLen ? "len" : "dport")
+               << " " << qid << " =>\n";
+          else
+            os << "table_add newton_h_" << stage << " hash_keys" << m.set
+               << " " << qid << " => " << m.h.seed << " " << m.h.width
+               << " 0\n";
+          break;
+        case ModuleType::S:
+          if (m.s.bypass)
+            os << "table_add newton_s_" << stage << " s" << stage << "_bypass"
+               << m.set << " " << qid << " =>\n";
+          else
+            os << "table_add newton_s_" << stage << " s" << stage << "_"
+               << (m.s.op == SaluOp::Or ? "or" : "add") << m.set << " " << qid
+               << " => " << m.s.operand << " " << m.s.guard_lo << " "
+               << m.s.guard_hi << " " << m.s.index_base << "\n";
+          break;
+        case ModuleType::R: {
+          const char* action =
+              m.r.on_match == RAction::Report
+                  ? "r_report"
+                  : m.r.on_match == RAction::Stop
+                        ? "r_stop"
+                        : m.r.on_match == RAction::ReportStop
+                              ? "r_report_stop"
+                              : (m.r.combine == RCombine::Set
+                                     ? (m.set == 0 ? "r_set0" : "r_set1")
+                                     : (m.set == 0 ? "r_min0" : "r_min1"));
+          os << "table_add newton_r_" << stage << " " << action << " " << qid
+             << " " << m.r.match_lo << "->" << m.r.match_hi << " =>\n";
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace newton

@@ -1,0 +1,41 @@
+// P4-16 code generation: the deployment artifact of §3's workflow.
+//
+// "At the initialization time, operators should add Newton module layout
+// into the P4 program, and load the P4 program into the switch pipeline.
+// At runtime ... Newton controller compiles queries into table rules
+// instead of P4 programs."
+//
+// `generate_p4_program` emits that initialization-time program for the
+// compact module layout: the SP-aware parser, the two metadata sets + the
+// global result, one K/H/S/R table per stage with rule-selectable actions,
+// the newton_init dispatch table and the newton_fin snapshot logic.
+// `generate_rule_script` emits the runtime artifact for one compiled
+// query: the table-rule add commands the controller would push, one line
+// per rule (simple_switch_CLI-style syntax).
+//
+// The generated program targets the v1model architecture so it is
+// inspectable/compilable with the open-source toolchain; per-stage
+// placement intent is carried via @stage pragmas.
+#pragma once
+
+#include <string>
+
+#include "core/compose.h"
+
+namespace newton {
+
+struct P4GenOptions {
+  std::size_t stages = 12;
+  std::size_t bank_registers = 49'152;
+  std::size_t rules_per_module = 256;
+};
+
+// The full P4-16 source for the module layout.
+std::string generate_p4_program(const P4GenOptions& opts = {});
+
+// Runtime rules for one compiled query: one `table_add` line per module
+// rule plus the newton_init entries.  `qid_base` numbers the branches.
+std::string generate_rule_script(const CompiledQuery& cq,
+                                 uint16_t qid_base = 0);
+
+}  // namespace newton

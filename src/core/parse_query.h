@@ -1,0 +1,44 @@
+// A textual query language for operators (and the CLI): the intent surface
+// of an intent-driven monitor.  One line per query, primitives chained with
+// '|', in the spirit of the paper's Figure 6 listings:
+//
+//   filter(proto == tcp && flags == syn) | map(dip) |
+//     reduce(dip, count) | when(>= 40)
+//
+// Grammar (informal):
+//   query     := clause ('|' clause)*
+//   clause    := filter '(' pred ')' | map '(' keys ')'
+//              | distinct '(' keys ')' | reduce '(' keys ',' agg ')'
+//              | when '(' cmp value ')' | window '(' int 'ms' ')'
+//              | sketch '(' int ',' int ')' | partitions '(' int ')'
+//              | branch '(' name ')'
+//   pred      := comparison ('&&' comparison)*
+//   comparison:= field cmpop value [ '/' masklen ]
+//   keys      := key (',' key)* ;  key := field [ '/' masklen ]
+//   agg       := 'count' | 'sum' | 'bytes'
+//   value     := int | 0xhex | dotted-quad | tcp | udp | icmp
+//              | syn | ack | synack | fin | rst
+//
+// Errors throw QueryParseError with a character position and message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/query.h"
+
+namespace newton {
+
+class QueryParseError : public std::runtime_error {
+ public:
+  QueryParseError(std::size_t pos, const std::string& msg)
+      : std::runtime_error("parse error at " + std::to_string(pos) + ": " +
+                           msg),
+        position(pos) {}
+  std::size_t position;
+};
+
+// Parse one query; `name` becomes its registered name.
+Query parse_query(const std::string& name, const std::string& text);
+
+}  // namespace newton

@@ -1,0 +1,172 @@
+#include "core/queries.h"
+
+#include <stdexcept>
+
+namespace newton {
+namespace {
+
+Predicate tcp_with_flags(uint32_t flags) {
+  return Predicate{}
+      .where(Field::Proto, Cmp::Eq, kProtoTcp)
+      .where(Field::TcpFlags, Cmp::Eq, flags);
+}
+
+QueryBuilder common(std::string name, const QueryParams& p) {
+  QueryBuilder b(std::move(name));
+  b.sketch(p.sketch_depth, p.sketch_width)
+      .partition_rows(p.row_partitions)
+      .window_ms(p.window_ms);
+  return b;
+}
+
+}  // namespace
+
+Query make_q1(const QueryParams& p) {
+  return common("q1_new_tcp", p)
+      .filter(tcp_with_flags(kTcpSyn))
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q1_syn_th)
+      .build();
+}
+
+Query make_q2(const QueryParams& p) {
+  return common("q2_ssh_brute", p)
+      .filter(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                  .where(Field::DstPort, Cmp::Eq, 22))
+      .map({Field::DstIp, Field::PktLen})
+      // Each login attempt is a fresh connection (new ephemeral port) with
+      // characteristic uniform packet sizes.
+      .distinct({Field::DstIp, Field::SrcPort, Field::PktLen})
+      .map({Field::DstIp, Field::PktLen})
+      .reduce({Field::DstIp, Field::PktLen}, Agg::Sum)
+      .when(Cmp::Ge, p.q2_attempt_th)
+      .build();
+}
+
+Query make_q3(const QueryParams& p) {
+  return common("q3_super_spreader", p)
+      .map({Field::SrcIp, Field::DstIp})
+      .distinct({Field::SrcIp, Field::DstIp})
+      .map({Field::SrcIp})
+      .reduce({Field::SrcIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q3_fanout_th)
+      .build();
+}
+
+Query make_q4(const QueryParams& p) {
+  return common("q4_port_scan", p)
+      .filter(tcp_with_flags(kTcpSyn))
+      .map({Field::SrcIp, Field::DstPort})
+      .distinct({Field::SrcIp, Field::DstPort})
+      .map({Field::SrcIp})
+      .reduce({Field::SrcIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q4_port_th)
+      .build();
+}
+
+Query make_q5(const QueryParams& p) {
+  return common("q5_udp_ddos", p)
+      .filter(Predicate{}.where(Field::Proto, Cmp::Eq, kProtoUdp))
+      .map({Field::DstIp, Field::SrcIp})
+      .distinct({Field::DstIp, Field::SrcIp})
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q5_srcs_th)
+      .build();
+}
+
+Query make_q6(const QueryParams& p) {
+  return common("q6_syn_flood", p)
+      .branch("syn")
+      .filter(tcp_with_flags(kTcpSyn))
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q6_syn_th)
+      .branch("synack")
+      .filter(tcp_with_flags(kTcpSynAck))
+      .map({Field::SrcIp})
+      .reduce({Field::SrcIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q6_synack_th)
+      .branch("ack")
+      .filter(tcp_with_flags(kTcpAck))
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q6_ack_th)
+      .build();
+}
+
+Query make_q7(const QueryParams& p) {
+  // FIN bit set (mask match) marks connection teardown.
+  return common("q7_completed_tcp", p)
+      .filter(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                  .where(Field::TcpFlags, Cmp::Eq, kTcpFin, kTcpFin))
+      .map({Field::DstIp, Field::SrcIp})
+      .distinct({Field::DstIp, Field::SrcIp})
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q7_fin_th)
+      .build();
+}
+
+Query make_q8(const QueryParams& p) {
+  return common("q8_slowloris", p)
+      .branch("conns")
+      .filter(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                  .where(Field::DstPort, Cmp::Eq, 80))
+      .map({Field::DstIp, Field::SrcIp, Field::SrcPort})
+      .distinct({Field::DstIp, Field::SrcIp, Field::SrcPort})
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, p.q8_conn_th)
+      .branch("bytes")
+      .filter(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                  .where(Field::DstPort, Cmp::Eq, 80))
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum, /*sum_pkt_len=*/true)
+      .when(Cmp::Ge, p.q8_bytes_th)
+      .build();
+}
+
+Query make_q9(const QueryParams& p) {
+  // Branch 1: hosts receiving DNS responses; branch 2: hosts opening TCP
+  // connections.  The analyzer joins: dns_clients \ tcp_initiators.
+  return common("q9_dns_no_tcp", p)
+      .branch("dns_resp")
+      .filter(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoUdp)
+                  .where(Field::SrcPort, Cmp::Eq, 53))
+      .map({Field::DstIp, Field::SrcIp})
+      .distinct({Field::DstIp, Field::SrcIp})
+      .branch("tcp_syn")
+      .filter(tcp_with_flags(kTcpSyn))
+      .map({Field::SrcIp, Field::DstIp})
+      .distinct({Field::SrcIp, Field::DstIp})
+      .build();
+}
+
+std::vector<Query> all_queries(const QueryParams& p) {
+  return {make_q1(p), make_q2(p), make_q3(p), make_q4(p), make_q5(p),
+          make_q6(p), make_q7(p), make_q8(p), make_q9(p)};
+}
+
+std::string query_description(std::size_t i) {
+  switch (i) {
+    case 1: return "Monitor new TCP connections";
+    case 2: return "Monitor hosts under SSH brute attacks";
+    case 3: return "Monitor super spreaders";
+    case 4: return "Monitor hosts under port scanning";
+    case 5: return "Monitor hosts under UDP DDoS attacks";
+    case 6: return "Monitor hosts under SYN flood attacks";
+    case 7: return "Monitor completed TCP connections";
+    case 8: return "Monitor hosts under Slowloris attacks";
+    case 9: return "Monitor hosts that do not create TCP connections after DNS";
+  }
+  throw std::out_of_range("query_description: 1..9");
+}
+
+}  // namespace newton

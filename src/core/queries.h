@@ -1,0 +1,55 @@
+// The nine evaluation queries (Table 2), re-implemented from the Sonata
+// open-source query set with Newton's query API.  Thresholds apply per
+// 100 ms window (§6, "values of reduce and distinct are evaluated and reset
+// every 100ms") and default to values tuned for the synthetic CAIDA/MAWI
+// profiles; all are overridable.
+//
+//   Q1  new TCP connections          Q6  SYN-flood victims (3 branches)
+//   Q2  SSH brute-force victims      Q7  completed TCP connections
+//   Q3  super spreaders              Q8  Slowloris victims (2 branches)
+//   Q4  port-scan victims            Q9  DNS without follow-up TCP (2 br.)
+//   Q5  UDP DDoS victims
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+
+namespace newton {
+
+struct QueryParams {
+  uint32_t q1_syn_th = 40;       // new connections per dip per window
+  uint32_t q2_attempt_th = 20;   // distinct same-sized SSH flows per dip
+  uint32_t q3_fanout_th = 60;    // distinct dips per sip
+  uint32_t q4_port_th = 50;      // distinct probed ports per sip
+  uint32_t q5_srcs_th = 50;      // distinct UDP sources per dip
+  uint32_t q6_syn_th = 60;       // SYNs per dip
+  uint32_t q6_synack_th = 60;    // SYN-ACKs per sip
+  uint32_t q6_ack_th = 60;       // ACKs per dip
+  uint32_t q7_fin_th = 40;       // completed connections per dip
+  uint32_t q8_conn_th = 30;       // concurrent connections per dip
+  uint32_t q8_bytes_th = 200'000; // bytes per dip marking "byte-heavy"
+  std::size_t sketch_depth = 2;
+  std::size_t sketch_width = 4096;
+  std::size_t row_partitions = 1;  // CQE register pooling (§6.3)
+  uint64_t window_ms = 100;
+};
+
+Query make_q1(const QueryParams& p = {});
+Query make_q2(const QueryParams& p = {});
+Query make_q3(const QueryParams& p = {});
+Query make_q4(const QueryParams& p = {});
+Query make_q5(const QueryParams& p = {});
+Query make_q6(const QueryParams& p = {});
+Query make_q7(const QueryParams& p = {});
+Query make_q8(const QueryParams& p = {});
+Query make_q9(const QueryParams& p = {});
+
+// All nine, in order.
+std::vector<Query> all_queries(const QueryParams& p = {});
+
+// Human-readable intents (Table 2).
+std::string query_description(std::size_t index_1_based);
+
+}  // namespace newton

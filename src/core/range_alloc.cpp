@@ -1,0 +1,39 @@
+#include "core/range_alloc.h"
+
+namespace newton {
+
+std::optional<std::size_t> RangeAllocator::allocate(std::size_t width) {
+  if (width == 0 || width > capacity_) return std::nullopt;
+  std::size_t cursor = 0;
+  for (const auto& [off, w] : allocs_) {
+    if (off >= cursor && off - cursor >= width) break;
+    cursor = std::max(cursor, off + w);
+  }
+  if (cursor + width > capacity_) return std::nullopt;
+  allocs_[cursor] = width;
+  return cursor;
+}
+
+bool RangeAllocator::reserve(std::size_t offset, std::size_t width) {
+  if (width == 0 || offset + width > capacity_) return false;
+  auto next = allocs_.lower_bound(offset);
+  if (next != allocs_.end() && next->first < offset + width) return false;
+  if (next != allocs_.begin()) {
+    const auto prev = std::prev(next);
+    if (prev->first + prev->second > offset) return false;
+  }
+  allocs_[offset] = width;
+  return true;
+}
+
+bool RangeAllocator::free(std::size_t offset) {
+  return allocs_.erase(offset) > 0;
+}
+
+std::size_t RangeAllocator::used() const {
+  std::size_t u = 0;
+  for (const auto& [off, w] : allocs_) u += w;
+  return u;
+}
+
+}  // namespace newton

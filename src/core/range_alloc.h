@@ -1,0 +1,38 @@
+// First-fit interval allocator for state-bank register ranges.
+//
+// H rules address a per-query slice [offset, offset+width) of a stage's
+// register array ("with the adjustable range of the hash result, S supports
+// flexible register allocation among different queries", §4.1).  The
+// controller allocates these slices; removal returns them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace newton {
+
+class RangeAllocator {
+ public:
+  explicit RangeAllocator(std::size_t capacity) : capacity_(capacity) {}
+
+  // First-fit allocation; returns the offset, or nullopt if no hole fits.
+  std::optional<std::size_t> allocate(std::size_t width);
+
+  // Reserve an exact range (used when a central controller pre-resolves
+  // offsets so every replica switch uses identical addressing); fails if it
+  // overlaps an existing allocation.
+  bool reserve(std::size_t offset, std::size_t width);
+
+  // Free a previously allocated/reserved range (must match exactly).
+  bool free(std::size_t offset);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const;
+
+ private:
+  std::size_t capacity_;
+  std::map<std::size_t, std::size_t> allocs_;  // offset -> width
+};
+
+}  // namespace newton

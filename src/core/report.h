@@ -1,0 +1,49 @@
+// Monitoring reports exported from the data plane to the software analyzer.
+//
+// When an R rule's action is `report`, the switch mirrors the metadata set
+// (operation keys, hash result, state result) plus the global result to the
+// analyzer (§4.1).  ReportSink is the abstract mirror port.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/fields.h"
+
+namespace newton {
+
+struct ReportRecord {
+  uint16_t qid = 0;
+  uint32_t switch_id = 0;
+  uint64_t ts_ns = 0;
+  std::array<uint32_t, kNumFields> oper_keys{};
+  uint32_t hash_result = 0;
+  uint32_t state_result = 0;
+  uint32_t global_result = 0;
+  // Set when the data plane defers the rest of the query to software
+  // (query needs more hops than the path has, §5.2).
+  bool deferred = false;
+  uint8_t next_slice = 0;
+};
+
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void report(const ReportRecord& r) = 0;
+};
+
+// Simple collector used by tests and benches.
+class ReportBuffer : public ReportSink {
+ public:
+  void report(const ReportRecord& r) override { records_.push_back(r); }
+  const std::vector<ReportRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<ReportRecord> records_;
+};
+
+}  // namespace newton

@@ -1,0 +1,71 @@
+#include "dataplane/forwarding.h"
+
+#include <stdexcept>
+
+namespace newton {
+namespace {
+
+uint32_t mask_of(uint8_t len) {
+  return len == 0 ? 0u : (len >= 32 ? 0xffffffffu : ~((1u << (32 - len)) - 1));
+}
+
+}  // namespace
+
+void LpmTable::insert(uint32_t prefix, uint8_t prefix_len, uint32_t port) {
+  if (prefix_len > 32)
+    throw std::invalid_argument("LpmTable: prefix_len > 32");
+  routes_[prefix_len][prefix & mask_of(prefix_len)] = port;
+}
+
+bool LpmTable::remove(uint32_t prefix, uint8_t prefix_len) {
+  if (prefix_len > 32) return false;
+  return routes_[prefix_len].erase(prefix & mask_of(prefix_len)) > 0;
+}
+
+std::optional<uint32_t> LpmTable::lookup(uint32_t ip) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& m = routes_[static_cast<std::size_t>(len)];
+    const auto it = m.find(ip & mask_of(static_cast<uint8_t>(len)));
+    if (it != m.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::size_t LpmTable::size() const {
+  std::size_t n = 0;
+  for (const auto& m : routes_) n += m.size();
+  return n;
+}
+
+void ReloadableForwarder::reload(uint64_t t_ns,
+                                 const ReloadModelParams& params) {
+  entries_at_reload_ = table_.size();
+  reload_start_ns_ = t_ns;
+  reboot_done_ns_ =
+      t_ns + static_cast<uint64_t>(params.reboot_seconds * 1e9);
+  per_entry_ns_ =
+      static_cast<uint64_t>(params.per_entry_restore_ms * 1e6);
+  reload_end_ns_ = reboot_done_ns_ +
+                   per_entry_ns_ * static_cast<uint64_t>(entries_at_reload_);
+}
+
+std::optional<uint32_t> ReloadableForwarder::forward(const Packet& pkt,
+                                                     uint64_t t_ns) {
+  if (t_ns >= reload_start_ns_ && t_ns < reload_end_ns_) {
+    // Mid-reload: the pipeline is dark during the reboot, and until the
+    // driver has restored the forwarding entries, traffic has no routes —
+    // the paper measures throughput as zero for the whole window (§6.1).
+    if (t_ns < reboot_done_ns_ || entries_at_reload_ > 0) {
+      ++dropped_;
+      return std::nullopt;
+    }
+  }
+  const auto port = table_.lookup(pkt.dip());
+  if (port)
+    ++forwarded_;
+  else
+    ++dropped_;
+  return port;
+}
+
+}  // namespace newton

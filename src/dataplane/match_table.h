@@ -1,0 +1,147 @@
+// Generic runtime-reconfigurable match-action tables.
+//
+// Match-action table rules are the *runtime reconfigurable* component of a
+// programmable data plane (§2.1) — the lever Newton uses to install, update
+// and remove queries without reloading the P4 program.  Two table flavors
+// cover everything Newton needs:
+//
+//   * TernaryTable<Action>: priority-ordered value/mask matching over a list
+//     of 32-bit match words (newton_init's 5-tuple+flags dispatch, and R's
+//     ternary match over the state result).
+//   * ConfigTable<Config>:  exact match on a query id, holding one module
+//     configuration per query (K/H/S module tables).
+//
+// Both enforce a capacity (the paper configures 256 rules per module) and
+// count rule operations so the controller's latency model can price
+// installs/removals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace newton {
+
+// One ternary match word: (value, mask).  A word matches x iff
+// (x & mask) == (value & mask).
+struct MatchWord {
+  uint32_t value = 0;
+  uint32_t mask = 0;
+
+  bool matches(uint32_t x) const { return (x & mask) == (value & mask); }
+  static MatchWord exact(uint32_t v) { return {v, 0xffffffffu}; }
+  static MatchWord wildcard() { return {0, 0}; }
+};
+
+template <typename Action>
+class TernaryTable {
+ public:
+  struct Entry {
+    std::vector<MatchWord> key;
+    int priority = 0;  // higher wins
+    Action action{};
+    uint64_t handle = 0;
+  };
+
+  explicit TernaryTable(std::size_t capacity) : capacity_(capacity) {}
+
+  // Insert a rule; returns a handle for later removal.
+  uint64_t insert(std::vector<MatchWord> key, int priority, Action action) {
+    if (entries_.size() >= capacity_)
+      throw std::runtime_error("TernaryTable: capacity exceeded");
+    const uint64_t h = next_handle_++;
+    entries_.push_back({std::move(key), priority, std::move(action), h});
+    ++rule_ops_;
+    return h;
+  }
+
+  bool remove(uint64_t handle) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->handle == handle) {
+        entries_.erase(it);
+        ++rule_ops_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Highest-priority matching entry (ties: earliest installed).
+  const Action* lookup(const std::vector<uint32_t>& key) const {
+    const Entry* best = nullptr;
+    for (const Entry& e : entries_) {
+      if (matches(e, key) &&
+          (best == nullptr || e.priority > best->priority))
+        best = &e;
+    }
+    return best ? &best->action : nullptr;
+  }
+
+  // All matching entries in priority order.  A physical TCAM yields one
+  // result; callers that need the union (newton_init dispatching a packet
+  // to every query watching its traffic class) conceptually install the
+  // cross-product of overlapping entries with merged actions — this walks
+  // that cross-product without materializing it.
+  std::vector<const Action*> lookup_all(const std::vector<uint32_t>& key) const {
+    std::vector<const Action*> out;
+    for (const Entry& e : entries_)
+      if (matches(e, key)) out.push_back(&e.action);
+    return out;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  uint64_t rule_ops() const { return rule_ops_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  static bool matches(const Entry& e, const std::vector<uint32_t>& key) {
+    if (e.key.size() != key.size()) return false;
+    for (std::size_t i = 0; i < key.size(); ++i)
+      if (!e.key[i].matches(key[i])) return false;
+    return true;
+  }
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  uint64_t next_handle_ = 1;
+  uint64_t rule_ops_ = 0;
+};
+
+// Exact-match table keyed by query id, one config per query.
+template <typename Config>
+class ConfigTable {
+ public:
+  explicit ConfigTable(std::size_t capacity) : capacity_(capacity) {}
+
+  void insert(uint16_t qid, Config cfg) {
+    if (!rules_.contains(qid) && rules_.size() >= capacity_)
+      throw std::runtime_error("ConfigTable: capacity exceeded");
+    rules_[qid] = std::move(cfg);
+    ++rule_ops_;
+  }
+
+  bool remove(uint16_t qid) {
+    const bool erased = rules_.erase(qid) > 0;
+    if (erased) ++rule_ops_;
+    return erased;
+  }
+
+  const Config* lookup(uint16_t qid) const {
+    const auto it = rules_.find(qid);
+    return it == rules_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return rules_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  uint64_t rule_ops() const { return rule_ops_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<uint16_t, Config> rules_;
+  uint64_t rule_ops_ = 0;
+};
+
+}  // namespace newton

@@ -1,0 +1,68 @@
+// Packet header vector (PHV) carried through the pipeline.
+//
+// The compact module layout (§4.2) eliminates write-read dependencies by
+// provisioning exactly TWO independent metadata sets — each composed of
+// operation keys, a hash result, and a state result — plus one shared
+// "global result" field that the result-process module R reads and updates
+// to merge results across sets.  Reserving the second set and the global
+// result is the PHV cost the paper pays for stage packing.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "packet/fields.h"
+#include "packet/packet.h"
+#include "packet/sp_header.h"
+
+namespace newton {
+
+// One of the two independent metadata sets.
+struct MetadataSet {
+  // Operation keys: global fields after K's bit-mask (unselected = 0).
+  std::array<uint32_t, kNumFields> keys{};
+  uint32_t hash_result = 0;
+  uint32_t state_result = 0;
+};
+
+inline constexpr std::size_t kNumMetadataSets = 2;
+inline constexpr std::size_t kMaxQueries = 256;  // newton_init table size
+
+struct Phv {
+  Packet pkt;
+  std::array<MetadataSet, kNumMetadataSets> sets{};
+  uint32_t global_result = 0;
+
+  // Which queries this packet executes (set by newton_init, cleared by R's
+  // stop action).  In hardware this is per-query gateway metadata.
+  std::bitset<kMaxQueries> active;
+  // Activation order, for cheap iteration by module tables (mirror of
+  // `active` at activation time; the bitset remains authoritative).
+  std::vector<uint16_t> active_list;
+
+  // CQE: decoded result-snapshot header if the packet arrived with one, and
+  // the header to emit on egress (set by newton_fin).
+  std::optional<SpHeader> sp_in;
+  std::optional<SpHeader> sp_out;
+
+  // True if the packet entered the network at this switch (arrived on a
+  // host-facing port) — matched by newton_init's ingress word.
+  bool at_ingress_edge = true;
+
+  bool query_active(uint16_t qid) const { return active.test(qid); }
+  void stop_query(uint16_t qid) { active.reset(qid); }
+  void activate_query(uint16_t qid) {
+    if (!active.test(qid)) {
+      active.set(qid);
+      active_list.push_back(qid);
+    }
+  }
+
+  MetadataSet& set(std::size_t i) { return sets[i]; }
+  const MetadataSet& set(std::size_t i) const { return sets[i]; }
+};
+
+}  // namespace newton

@@ -1,0 +1,25 @@
+#include "dataplane/pipeline.h"
+
+namespace newton {
+
+void Stage::add(std::shared_ptr<TableProgram> table) {
+  if (!table) throw std::invalid_argument("Stage::add: null table");
+  if (!used().fits_with(table->resources(), stage_capacity()))
+    throw std::runtime_error("Stage::add: per-stage resources exceeded by " +
+                             table->name());
+  tables_.push_back(std::move(table));
+}
+
+ResourceVec Stage::used() const {
+  ResourceVec r;
+  for (const auto& t : tables_) r += t->resources();
+  return r;
+}
+
+ResourceVec Pipeline::total_used() const {
+  ResourceVec r;
+  for (const Stage& s : stages_) r += s.used();
+  return r;
+}
+
+}  // namespace newton

@@ -1,0 +1,59 @@
+// Physical stages and the pipeline container.
+//
+// A Stage is a slice of the switch's resources holding the tables placed in
+// it; modules in the same stage execute "simultaneously" (no intra-stage
+// data dependencies — the compiler guarantees that), which we model as
+// in-order execution of the stage's slots.  The Pipeline is the ordered
+// list of stages a packet traverses.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dataplane/table_program.h"
+
+namespace newton {
+
+class Stage {
+ public:
+  Stage() = default;
+
+  // Place a table in this stage; rejects placements that exceed the
+  // per-stage resource capacity.
+  void add(std::shared_ptr<TableProgram> table);
+
+  void execute(Phv& phv) {
+    for (auto& t : tables_) t->execute(phv);
+  }
+
+  const std::vector<std::shared_ptr<TableProgram>>& tables() const {
+    return tables_;
+  }
+  ResourceVec used() const;
+
+ private:
+  std::vector<std::shared_ptr<TableProgram>> tables_;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(std::size_t num_stages = kStagesPerPipeline)
+      : stages_(num_stages) {}
+
+  Stage& stage(std::size_t i) { return stages_.at(i); }
+  const Stage& stage(std::size_t i) const { return stages_.at(i); }
+  std::size_t num_stages() const { return stages_.size(); }
+
+  // Run the packet through all stages in order.
+  void process(Phv& phv) {
+    for (Stage& s : stages_) s.execute(phv);
+  }
+
+  ResourceVec total_used() const;
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+}  // namespace newton

@@ -1,0 +1,46 @@
+// Stateful memory: register arrays with per-register stateful ALUs.
+//
+// The state bank module S comprises a register array and stateful ALUs that
+// execute transactionally over one register per packet (§4.1).  Newton
+// needs four ALU operations; BF needs `|` and CM needs `+`.  Return-value
+// semantics (what the SALU forwards into the state result) follow what each
+// sketch requires:
+//   Read  -> current value
+//   Write -> PREVIOUS value (read-modify-write)
+//   Add   -> NEW value (post-increment; CM takes min of these across suites)
+//   Or    -> PREVIOUS value (so `distinct` sees 0/partial on first occurrence)
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace newton {
+
+enum class SaluOp : uint8_t { Read, Write, Add, Or };
+
+class RegisterArray {
+ public:
+  explicit RegisterArray(std::size_t size) : regs_(size, 0) {
+    if (size == 0)
+      throw std::invalid_argument("RegisterArray: size must be > 0");
+  }
+
+  // Execute `op` on register `index` with `operand`; returns the value the
+  // SALU forwards (see semantics above).  Out-of-range indices are a
+  // programming error in the compiler and throw.
+  uint32_t execute(SaluOp op, std::size_t index, uint32_t operand);
+
+  uint32_t read(std::size_t index) const { return regs_.at(index); }
+  void reset();  // epoch rollover: zero all registers
+  // Zero one range (control plane sweeps a freshly allocated query slice so
+  // no stale state from a removed query leaks into a new one).
+  void clear_range(std::size_t offset, std::size_t width);
+
+  std::size_t size() const { return regs_.size(); }
+
+ private:
+  std::vector<uint32_t> regs_;
+};
+
+}  // namespace newton

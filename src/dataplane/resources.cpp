@@ -1,0 +1,77 @@
+#include "dataplane/resources.h"
+
+namespace newton {
+
+ResourceVec& ResourceVec::operator+=(const ResourceVec& o) {
+  crossbar_bytes += o.crossbar_bytes;
+  sram_kb += o.sram_kb;
+  tcam_kb += o.tcam_kb;
+  vliw_slots += o.vliw_slots;
+  hash_bits += o.hash_bits;
+  salus += o.salus;
+  gateways += o.gateways;
+  return *this;
+}
+
+ResourceVec ResourceVec::operator*(double k) const {
+  return {crossbar_bytes * k, sram_kb * k,   tcam_kb * k, vliw_slots * k,
+          hash_bits * k,      salus * k,     gateways * k};
+}
+
+ResourceVec ResourceVec::normalized_by(const ResourceVec& d) const {
+  auto ratio = [](double a, double b) { return b == 0 ? 0.0 : a / b; };
+  return {ratio(crossbar_bytes, d.crossbar_bytes),
+          ratio(sram_kb, d.sram_kb),
+          ratio(tcam_kb, d.tcam_kb),
+          ratio(vliw_slots, d.vliw_slots),
+          ratio(hash_bits, d.hash_bits),
+          ratio(salus, d.salus),
+          ratio(gateways, d.gateways)};
+}
+
+bool ResourceVec::fits_with(const ResourceVec& extra,
+                            const ResourceVec& cap) const {
+  return crossbar_bytes + extra.crossbar_bytes <= cap.crossbar_bytes &&
+         sram_kb + extra.sram_kb <= cap.sram_kb &&
+         tcam_kb + extra.tcam_kb <= cap.tcam_kb &&
+         vliw_slots + extra.vliw_slots <= cap.vliw_slots &&
+         hash_bits + extra.hash_bits <= cap.hash_bits &&
+         salus + extra.salus <= cap.salus &&
+         gateways + extra.gateways <= cap.gateways;
+}
+
+std::array<double, 7> ResourceVec::as_array() const {
+  return {crossbar_bytes, sram_kb, tcam_kb,  vliw_slots,
+          hash_bits,      salus,   gateways};
+}
+
+ResourceVec stage_capacity() {
+  // Ballpark per-MAU-stage figures for a Tofino-class ASIC.
+  ResourceVec c;
+  c.crossbar_bytes = 192;
+  c.sram_kb = 1280;   // 80 blocks x 16 KB
+  c.tcam_kb = 53;     // 24 blocks x ~2.2 KB
+  c.vliw_slots = 32;
+  c.hash_bits = 416;  // 8 units x 52 bits
+  c.salus = 4;
+  c.gateways = 16;
+  return c;
+}
+
+ResourceVec switch_p4_reference() {
+  // Whole-pipeline consumption of the reference L2/L3 switch.p4 program.
+  // Chosen so that Newton module usage normalizes to the low-single-digit
+  // percentages Table 3 reports (the paper's own denominators are Tofino
+  // compiler outputs we cannot reproduce bit-for-bit).
+  ResourceVec r;
+  r.crossbar_bytes = 820;
+  r.sram_kb = 6200;
+  r.tcam_kb = 297;
+  r.vliw_slots = 142;
+  r.hash_bits = 2250;
+  r.salus = 18;
+  r.gateways = 280;
+  return r;
+}
+
+}  // namespace newton

@@ -1,0 +1,54 @@
+// Resource model for an RMT/PISA switch pipeline (Tofino-like).
+//
+// Resources on programmable data planes are evenly sliced into physical
+// stages (§2.1).  Each stage offers a fixed vector of seven resource types —
+// the exact set the paper accounts for in Table 3: match crossbar bytes,
+// SRAM, TCAM, VLIW action slots, hash bits, stateful ALUs, and gateways
+// (if-else predication units).  Table 3 normalizes usage by the consumption
+// of the reference program switch.p4; we keep the same normalization.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace newton {
+
+struct ResourceVec {
+  double crossbar_bytes = 0;  // match-key crossbar input bytes
+  double sram_kb = 0;         // exact-match + register SRAM
+  double tcam_kb = 0;         // ternary match memory
+  double vliw_slots = 0;      // action instruction slots
+  double hash_bits = 0;       // hash-distribution-unit output bits
+  double salus = 0;           // stateful ALUs
+  double gateways = 0;        // predication/gateway resources
+
+  ResourceVec& operator+=(const ResourceVec& o);
+  friend ResourceVec operator+(ResourceVec a, const ResourceVec& b) {
+    a += b;
+    return a;
+  }
+  ResourceVec operator*(double k) const;
+  // Element-wise ratio (this / denom); denom entries of 0 yield 0.
+  ResourceVec normalized_by(const ResourceVec& denom) const;
+
+  // True if every component of `this + extra` stays within `cap`.
+  bool fits_with(const ResourceVec& extra, const ResourceVec& cap) const;
+
+  std::array<double, 7> as_array() const;
+};
+
+inline constexpr std::array<std::string_view, 7> kResourceNames{
+    "Crossbar", "SRAM", "TCAM", "VLIW", "HashBits", "SALU", "Gateway"};
+
+// Per-physical-stage capacity of the modeled switch.
+ResourceVec stage_capacity();
+
+// Total resources consumed by the reference switch.p4 program across the
+// whole pipeline; Table 3's normalization denominator.
+ResourceVec switch_p4_reference();
+
+// Number of physical stages per pipeline (Tofino: 12, §4.3).
+inline constexpr std::size_t kStagesPerPipeline = 12;
+
+}  // namespace newton

@@ -1,0 +1,19 @@
+#include "dataplane/rule_latency.h"
+
+#include <algorithm>
+
+namespace newton {
+
+double RuleLatencyModel::sample_rule_op_ms() {
+  // Lognormal with median ~0.55ms and a modest tail; clamp to a sane range.
+  std::lognormal_distribution<double> d(-0.6, 0.35);
+  return std::clamp(d(rng_), 0.2, 3.0);
+}
+
+double RuleLatencyModel::batch_ms(std::size_t n) {
+  double total = batch_overhead_ms();
+  for (std::size_t i = 0; i < n; ++i) total += sample_rule_op_ms();
+  return total;
+}
+
+}  // namespace newton

@@ -1,0 +1,32 @@
+// Latency model for runtime rule operations.
+//
+// Installing a rule from the controller crosses the control channel, the
+// switch driver, and the ASIC's table-management engine.  We model the
+// per-rule cost as a lognormal around ~0.7 ms plus a fixed per-batch session
+// setup, calibrated so that a Newton query (a handful of module rules)
+// installs in 5-20 ms as Figure 11 reports.  Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace newton {
+
+class RuleLatencyModel {
+ public:
+  explicit RuleLatencyModel(uint32_t seed = 42) : rng_(seed) {}
+
+  // Cost of one rule insert/delete, in milliseconds.
+  double sample_rule_op_ms();
+
+  // Fixed cost of opening a controller->switch batch, in milliseconds.
+  double batch_overhead_ms() const { return 0.6; }
+
+  // Total cost of a batch of n rule operations.
+  double batch_ms(std::size_t n);
+
+ private:
+  std::mt19937 rng_;
+};
+
+}  // namespace newton

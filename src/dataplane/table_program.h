@@ -1,0 +1,27 @@
+// Interface between the pipeline container and the logical tables placed in
+// it.  Newton's four modules, newton_init, and newton_fin all implement
+// TableProgram; the Stage/Pipeline only know about execution order and
+// resource footprints.
+#pragma once
+
+#include <string>
+
+#include "dataplane/phv.h"
+#include "dataplane/resources.h"
+
+namespace newton {
+
+class TableProgram {
+ public:
+  virtual ~TableProgram() = default;
+
+  // Apply this table to the packet (match + action).
+  virtual void execute(Phv& phv) = 0;
+
+  // Static resource footprint of this table instance.
+  virtual ResourceVec resources() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace newton

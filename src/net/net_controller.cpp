@@ -1,0 +1,87 @@
+#include "net/net_controller.h"
+
+#include <stdexcept>
+
+namespace newton {
+
+const NetworkController::Deployment& NetworkController::deploy(
+    const Query& q, CompileOptions opts, std::vector<int> ingress_edges) {
+  if (deployments_.contains(q.name))
+    throw std::invalid_argument("deploy: already deployed: " + q.name);
+
+  CompiledQuery cq = compile_query(q, opts);
+  std::vector<QuerySlice> slices =
+      slice_query(cq, net_.stages_per_switch());
+  resolve_slice_offsets(slices, central_alloc_);
+
+  if (ingress_edges.empty()) ingress_edges = net_.topo().edge_switches();
+  Placement placement =
+      place_resilient(net_.topo(), ingress_edges, slices.size());
+
+  Deployment d;
+  d.query = q.name;
+  d.uid = next_uid_++;
+  d.slices = slices;
+  d.placement = placement;
+
+  for (const auto& [sw_node, slice_idxs] : placement.assignment) {
+    if (!net_.has_switch(sw_node)) continue;
+    for (std::size_t si : slice_idxs) {
+      const auto res = net_.sw(sw_node).install_slice(slices[si], d.uid,
+                                                      /*resolve=*/false);
+      d.handles[sw_node].push_back(res.handle);
+      d.total_latency_ms = std::max(d.total_latency_ms, res.latency_ms);
+      d.total_rule_ops += res.rule_ops;
+      if (analyzer_)
+        for (uint16_t qid : res.qids)
+          analyzer_->register_qid(static_cast<uint32_t>(sw_node), qid, q.name,
+                                  0);
+    }
+  }
+  return deployments_[q.name] = std::move(d);
+}
+
+const NetworkController::Deployment& NetworkController::deploy_sole(
+    const Query& q, CompileOptions opts) {
+  if (deployments_.contains(q.name))
+    throw std::invalid_argument("deploy_sole: already deployed: " + q.name);
+  CompiledQuery cq = compile_query(q, opts);
+
+  Deployment d;
+  d.query = q.name;
+  d.uid = next_uid_++;
+  for (int sw_node : net_.topo().switches()) {
+    const auto res = net_.sw(sw_node).install(cq);
+    d.handles[sw_node].push_back(res.handle);
+    d.total_latency_ms = std::max(d.total_latency_ms, res.latency_ms);
+    d.total_rule_ops += res.rule_ops;
+    if (analyzer_)
+      for (std::size_t bi = 0; bi < res.qids.size(); ++bi)
+        analyzer_->register_qid(static_cast<uint32_t>(sw_node), res.qids[bi],
+                                q.name, bi);
+  }
+  return deployments_[q.name] = std::move(d);
+}
+
+void NetworkController::withdraw(const std::string& name) {
+  auto it = deployments_.find(name);
+  if (it == deployments_.end())
+    throw std::invalid_argument("withdraw: unknown deployment: " + name);
+  for (const auto& [sw_node, handles] : it->second.handles)
+    for (uint64_t h : handles) net_.sw(sw_node).remove(h);
+  deployments_.erase(it);
+}
+
+const NetworkController::Deployment* NetworkController::deployment(
+    const std::string& name) const {
+  const auto it = deployments_.find(name);
+  return it == deployments_.end() ? nullptr : &it->second;
+}
+
+const std::vector<QuerySlice>* NetworkController::slices_of(
+    const std::string& name) const {
+  const Deployment* d = deployment(name);
+  return d == nullptr ? nullptr : &d->slices;
+}
+
+}  // namespace newton

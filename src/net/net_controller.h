@@ -1,0 +1,66 @@
+// Network-wide Newton controller (§5): compiles a query, slices it for the
+// per-switch stage budget (CQE), resolves register offsets centrally so all
+// slice replicas address identical state, places slices with Algorithm 2,
+// and installs the rules.  Also provides the sole-execution baseline
+// (the full query independently on every switch) that Fig. 13 compares
+// against.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "core/cqe.h"
+#include "net/network.h"
+#include "net/placement.h"
+
+namespace newton {
+
+class NetworkController {
+ public:
+  explicit NetworkController(Network& net, Analyzer* analyzer = nullptr)
+      : net_(net), analyzer_(analyzer) {
+    for (std::size_t i = 0; i < net.stages_per_switch(); ++i)
+      central_alloc_.emplace_back(kStateBankRegisters);
+  }
+
+  NetworkController(Network& net, Analyzer* analyzer,
+                    std::size_t bank_registers)
+      : net_(net), analyzer_(analyzer) {
+    for (std::size_t i = 0; i < net.stages_per_switch(); ++i)
+      central_alloc_.emplace_back(bank_registers);
+  }
+
+  struct Deployment {
+    std::string query;
+    uint16_t uid = 0;
+    std::vector<QuerySlice> slices;
+    Placement placement;
+    double total_latency_ms = 0;
+    std::size_t total_rule_ops = 0;
+    std::map<int, std::vector<uint64_t>> handles;  // switch -> install handles
+  };
+
+  // Resilient CQE deployment across all possible paths from the monitored
+  // traffic's ingress edge switches (defaults to every edge switch).
+  const Deployment& deploy(const Query& q, CompileOptions opts = {},
+                           std::vector<int> ingress_edges = {});
+
+  // Sole-execution baseline: every switch runs the full query.
+  const Deployment& deploy_sole(const Query& q, CompileOptions opts = {});
+
+  void withdraw(const std::string& name);
+
+  const Deployment* deployment(const std::string& name) const;
+  const std::vector<QuerySlice>* slices_of(const std::string& name) const;
+
+ private:
+  Network& net_;
+  Analyzer* analyzer_;
+  std::vector<RangeAllocator> central_alloc_;
+  std::map<std::string, Deployment> deployments_;
+  uint16_t next_uid_ = 1;
+};
+
+}  // namespace newton

@@ -1,0 +1,63 @@
+#include "net/network.h"
+
+namespace newton {
+
+Network::Network(Topology topo, std::size_t stages_per_switch,
+                 ReportSink* sink, std::size_t bank_registers)
+    : topo_(std::move(topo)), stages_per_switch_(stages_per_switch) {
+  for (int s : topo_.switches())
+    switches_[s] = std::make_unique<NewtonSwitch>(
+        static_cast<uint32_t>(s), stages_per_switch, sink, bank_registers,
+        /*latency_seed=*/42 + static_cast<uint32_t>(s));
+}
+
+Network::SendStats Network::send(const Packet& pkt, int src_host,
+                                 int dst_host) {
+  const uint32_t fh = static_cast<uint32_t>(
+      FiveTupleHash{}(FiveTuple::of(pkt)));
+  const auto path = route(topo_, src_host, dst_host, fh);
+  if (!path) return {};
+  return send_along(pkt, switches_on(topo_, *path));
+}
+
+Network::SendStats Network::send_along(const Packet& pkt,
+                                       const std::vector<int>& sw_path) {
+  SendStats st;
+  ++packets_sent_;
+  std::optional<SpHeader> sp;
+  bool first_hop = true;
+  for (int node : sw_path) {
+    ++st.hops;
+    auto& sw = *switches_.at(node);
+    // The snapshot crosses the link as 12 wire bytes; encode/decode at each
+    // hop exercises the real SP codec end to end.
+    std::optional<SpHeader> sp_in;
+    if (sp) {
+      const auto wire = sp_encode(*sp);
+      sp_in = sp_decode(wire.data(), wire.size());
+    }
+    const auto out = sw.process(pkt, sp_in, /*at_ingress_edge=*/first_hop);
+    first_hop = false;
+    if (out.sp_out) {
+      sp = out.sp_out;
+    } else if (out.sp_consumed) {
+      sp.reset();  // final slice ran (or the query stopped itself)
+    }
+    // else: this hop hosts no successor slice; keep carrying the header.
+    if (sp) {
+      st.sp_link_bytes += kSpHeaderBytes;
+      sp_link_bytes_ += kSpHeaderBytes;
+    }
+    payload_link_bytes_ += pkt.wire_len;
+  }
+  st.delivered = true;
+  if (sp) {
+    // Egress with an unfinished query: switches strip the SP header before
+    // the packet reaches end hosts; the snapshot is mirrored to software.
+    st.deferred = true;
+    if (deferred_) deferred_(pkt, *sp);
+  }
+  return st;
+}
+
+}  // namespace newton

@@ -1,0 +1,64 @@
+// Multi-switch network simulator: one Newton switch per topology switch
+// node, packets forwarded along routed paths, the SP header piggybacked
+// between hops (§5.1).  Counts the CQE bandwidth overhead and hands
+// unfinished executions to the deferred handler (software analyzer).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/newton_switch.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "packet/flow_key.h"
+
+namespace newton {
+
+class Network {
+ public:
+  Network(Topology topo, std::size_t stages_per_switch, ReportSink* sink,
+          std::size_t bank_registers = kStateBankRegisters);
+
+  Topology& topo() { return topo_; }
+  const Topology& topo() const { return topo_; }
+  NewtonSwitch& sw(int node) { return *switches_.at(node); }
+  bool has_switch(int node) const { return switches_.contains(node); }
+  std::size_t stages_per_switch() const { return stages_per_switch_; }
+
+  struct SendStats {
+    std::size_t hops = 0;        // switches traversed
+    std::size_t sp_link_bytes = 0;  // SP header bytes carried on links
+    bool delivered = false;
+    bool deferred = false;       // execution continued in software
+  };
+
+  // Route and forward one packet host-to-host.  The SP header produced by a
+  // hop is consumed by the next hop hosting the successor slice; if the
+  // packet reaches the egress edge with the query unfinished, the deferred
+  // handler is invoked (§5.2).
+  SendStats send(const Packet& pkt, int src_host, int dst_host);
+
+  // Forward along an explicit switch path (the paper's line-testbed mode).
+  SendStats send_along(const Packet& pkt, const std::vector<int>& sw_path);
+
+  void set_deferred_handler(
+      std::function<void(const Packet&, const SpHeader&)> h) {
+    deferred_ = std::move(h);
+  }
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t total_sp_link_bytes() const { return sp_link_bytes_; }
+  uint64_t total_payload_link_bytes() const { return payload_link_bytes_; }
+
+ private:
+  Topology topo_;
+  std::size_t stages_per_switch_;
+  std::map<int, std::unique_ptr<NewtonSwitch>> switches_;
+  std::function<void(const Packet&, const SpHeader&)> deferred_;
+  uint64_t packets_sent_ = 0;
+  uint64_t sp_link_bytes_ = 0;
+  uint64_t payload_link_bytes_ = 0;
+};
+
+}  // namespace newton

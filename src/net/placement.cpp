@@ -1,0 +1,62 @@
+#include "net/placement.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace newton {
+
+bool Placement::has(int sw, std::size_t slice) const {
+  const auto it = assignment.find(sw);
+  return it != assignment.end() &&
+         std::find(it->second.begin(), it->second.end(), slice) !=
+             it->second.end();
+}
+
+Placement place_resilient(const Topology& t,
+                          const std::vector<int>& edge_switches,
+                          std::size_t num_slices) {
+  Placement p;
+  if (num_slices == 0) return p;
+  // Layered reachability: depth d (1-based) -> switches reachable in d-1
+  // hops from any ingress edge switch.
+  std::set<std::pair<int, std::size_t>> seen;  // (switch, depth)
+  std::queue<std::pair<int, std::size_t>> q;
+  for (int s : edge_switches) {
+    if (seen.insert({s, 1}).second) q.push({s, 1});
+  }
+  while (!q.empty()) {
+    const auto [s, d] = q.front();
+    q.pop();
+    auto& slot = p.assignment[s];
+    if (std::find(slot.begin(), slot.end(), d - 1) == slot.end())
+      slot.push_back(d - 1);
+    if (d >= num_slices) continue;
+    for (int n : t.neighbors(s)) {
+      if (!t.is_switch(n)) continue;
+      if (seen.insert({n, d + 1}).second) q.push({n, d + 1});
+    }
+  }
+  for (auto& [s, slices] : p.assignment) std::sort(slices.begin(), slices.end());
+  return p;
+}
+
+PlacementStats placement_stats(const Placement& p,
+                               const std::vector<QuerySlice>& slices) {
+  PlacementStats st;
+  st.switches = p.assignment.size();
+  for (const auto& [sw, idxs] : p.assignment) {
+    for (std::size_t i : idxs) {
+      const QuerySlice& sl = slices.at(i);
+      st.total_entries += sl.part.num_modules();
+      if (sl.index == 0) st.total_entries += sl.part.num_init_entries();
+    }
+  }
+  st.avg_entries_per_switch =
+      st.switches == 0 ? 0.0
+                       : static_cast<double>(st.total_entries) /
+                             static_cast<double>(st.switches);
+  return st;
+}
+
+}  // namespace newton

@@ -1,0 +1,51 @@
+// Resilient module-rule placement — Algorithm 2 (§5.2).
+//
+// Queries are placed along ALL possible paths without consulting forwarding
+// rules: slice c_d goes onto every switch reachable in d-1 hops from an
+// edge switch where monitored traffic enters.  Whatever path a reroute
+// picks, the packet meets slice 1 at its first hop, slice 2 within the next
+// hop, and so on.  Rule multiplexing bounds the redundancy: a switch holds
+// each slice at most once no matter how many flows/paths cross it.
+//
+// We compute reachability with a depth-layered BFS (a polynomial
+// over-approximation of the paper's simple-path DFS with backtracking —
+// walks instead of simple paths).  The over-approximation can only ADD
+// slice replicas, so the resilience invariant is preserved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/cqe.h"
+#include "net/topology.h"
+
+namespace newton {
+
+struct Placement {
+  // P[s]: slice indices (0-based) assigned to each switch, in order.
+  std::map<int, std::vector<std::size_t>> assignment;
+
+  std::size_t switches_used() const { return assignment.size(); }
+  bool has(int sw, std::size_t slice) const;
+};
+
+// Run Algorithm 2 from the given ingress edge switches for a query of
+// `num_slices` partitions.
+Placement place_resilient(const Topology& t,
+                          const std::vector<int>& edge_switches,
+                          std::size_t num_slices);
+
+struct PlacementStats {
+  std::size_t total_entries = 0;
+  double avg_entries_per_switch = 0;
+  std::size_t switches = 0;
+};
+
+// Table-entry cost of a placement (Fig. 17's metric): per switch, the sum
+// of each assigned slice's module rules, plus the newton_init entries for
+// first-slice switches.
+PlacementStats placement_stats(const Placement& p,
+                               const std::vector<QuerySlice>& slices);
+
+}  // namespace newton

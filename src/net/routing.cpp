@@ -1,0 +1,53 @@
+#include "net/routing.h"
+
+#include <queue>
+
+namespace newton {
+
+std::optional<std::vector<int>> route(const Topology& t, int src, int dst,
+                                      uint32_t flow_hash) {
+  const std::size_t n = t.nodes.size();
+  std::vector<int> dist(n, -1);
+  // BFS from the destination so forwarding can greedily descend distances —
+  // mirroring destination-based routing tables.
+  std::queue<int> q;
+  dist[dst] = 0;
+  q.push(dst);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v : t.neighbors(u)) {
+      // Hosts only terminate paths; they do not transit.
+      if (t.nodes[v].type == NodeType::Host && v != src) continue;
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  if (dist[src] < 0) return std::nullopt;
+
+  std::vector<int> path{src};
+  int cur = src;
+  while (cur != dst) {
+    std::vector<int> next;
+    for (int v : t.neighbors(cur))
+      if (dist[v] == dist[cur] - 1) next.push_back(v);
+    // Deterministic ECMP: hash picks among equal-cost next hops.
+    const int pick =
+        next[(flow_hash + static_cast<uint32_t>(path.size()) * 0x9e3779b9u) %
+             next.size()];
+    path.push_back(pick);
+    cur = pick;
+  }
+  return path;
+}
+
+std::vector<int> switches_on(const Topology& t, const std::vector<int>& path) {
+  std::vector<int> out;
+  for (int n : path)
+    if (t.is_switch(n)) out.push_back(n);
+  return out;
+}
+
+}  // namespace newton

@@ -1,0 +1,55 @@
+// Network topologies for the network-wide experiments: k-ary fat-trees
+// (Fig. 17's data-center case), a North-America ISP backbone modeled after
+// the public AT&T OC-768 map (Fig. 17's WAN case), and the 3-switch line of
+// the paper's testbed (Fig. 8, used by Fig. 13/14).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace newton {
+
+enum class NodeType : uint8_t { Switch, Host };
+
+struct Topology {
+  struct Node {
+    NodeType type;
+    std::string name;
+  };
+
+  std::vector<Node> nodes;
+  std::vector<std::set<int>> adj;           // undirected links
+  std::set<std::pair<int, int>> failed;     // failed links (min,max) pairs
+
+  int add_node(NodeType type, std::string name);
+  void add_link(int a, int b);
+  // Fail / restore a link at runtime (triggers rerouting in `routing.h`).
+  void fail_link(int a, int b);
+  void restore_link(int a, int b);
+  bool link_up(int a, int b) const;
+
+  // Live neighbors of `n`.
+  std::vector<int> neighbors(int n) const;
+  std::vector<int> switches() const;
+  std::vector<int> hosts() const;
+  bool is_switch(int n) const {
+    return nodes.at(static_cast<std::size_t>(n)).type == NodeType::Switch;
+  }
+  // Switches adjacent to at least one host (candidate first hops).
+  std::vector<int> edge_switches() const;
+};
+
+// k-ary fat-tree: k pods of k/2 edge + k/2 aggregation switches, (k/2)^2
+// cores, k/2 hosts per edge switch.  k must be even.
+Topology make_fat_tree(int k);
+
+// ~25-PoP North-America backbone (AT&T OC-768-style connectivity), one
+// stub host per PoP.
+Topology make_isp_backbone();
+
+// The paper's testbed shape: `n` switches in a line, one host at each end.
+Topology make_line(int n_switches);
+
+}  // namespace newton

@@ -1,0 +1,66 @@
+// Global header-field registry shared by the data plane and the query API.
+//
+// Newton's key-selection module (K) operates over a fixed list of "global
+// fields" parsed from every packet (§4.1).  Each field is identified by a
+// Field id; K applies a per-field bit mask to conceal unneeded fields or to
+// coarsen values (e.g. keep an IP prefix, discretize a length).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace newton {
+
+enum class Field : uint8_t {
+  SrcIp = 0,
+  DstIp,
+  SrcPort,
+  DstPort,
+  Proto,
+  TcpFlags,
+  PktLen,
+  Ttl,
+  IpId,
+};
+
+inline constexpr std::size_t kNumFields = 9;
+
+// Bit width of each field as carried in the PHV.  Widths drive the crossbar
+// and hash-bit resource accounting in the resource model.
+constexpr std::array<uint8_t, kNumFields> kFieldBits{32, 32, 16, 16,
+                                                     8,  8,  16, 8, 16};
+
+constexpr std::string_view field_name(Field f) {
+  constexpr std::array<std::string_view, kNumFields> names{
+      "sip", "dip", "sport", "dport", "proto", "tcp_flags",
+      "pkt_len", "ttl", "ip_id"};
+  return names[static_cast<std::size_t>(f)];
+}
+
+constexpr uint8_t field_bits(Field f) {
+  return kFieldBits[static_cast<std::size_t>(f)];
+}
+
+// Full-width mask for a field (used as the default K mask).
+constexpr uint32_t field_full_mask(Field f) {
+  const uint8_t bits = field_bits(f);
+  return bits >= 32 ? 0xffffffffu : ((1u << bits) - 1u);
+}
+
+constexpr std::size_t index(Field f) { return static_cast<std::size_t>(f); }
+
+// IP protocol numbers used throughout the queries and trace generator.
+inline constexpr uint32_t kProtoTcp = 6;
+inline constexpr uint32_t kProtoUdp = 17;
+inline constexpr uint32_t kProtoIcmp = 1;
+
+// TCP flag bits (subset relevant to the evaluation queries).
+inline constexpr uint32_t kTcpFin = 0x01;
+inline constexpr uint32_t kTcpSyn = 0x02;
+inline constexpr uint32_t kTcpRst = 0x04;
+inline constexpr uint32_t kTcpPsh = 0x08;
+inline constexpr uint32_t kTcpAck = 0x10;
+inline constexpr uint32_t kTcpSynAck = kTcpSyn | kTcpAck;
+
+}  // namespace newton

@@ -1,0 +1,50 @@
+// Flow keys: the 5-tuple plus coarser aggregates used by queries, baselines
+// and the ground-truth evaluator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "packet/packet.h"
+
+namespace newton {
+
+struct FiveTuple {
+  uint32_t sip = 0;
+  uint32_t dip = 0;
+  uint16_t sport = 0;
+  uint16_t dport = 0;
+  uint8_t proto = 0;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+
+  static FiveTuple of(const Packet& p) {
+    return {p.sip(), p.dip(), static_cast<uint16_t>(p.sport()),
+            static_cast<uint16_t>(p.dport()), static_cast<uint8_t>(p.proto())};
+  }
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const {
+    // FNV-1a over the packed tuple; adequate for hash-map usage.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    };
+    mix((uint64_t{t.sip} << 32) | t.dip);
+    mix((uint64_t{t.sport} << 32) | (uint64_t{t.dport} << 16) | t.proto);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace newton
+
+template <>
+struct std::hash<newton::FiveTuple> {
+  std::size_t operator()(const newton::FiveTuple& t) const {
+    return newton::FiveTupleHash{}(t);
+  }
+};

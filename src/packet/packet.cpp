@@ -1,0 +1,36 @@
+#include "packet/packet.h"
+
+#include <cstdio>
+
+namespace newton {
+
+Packet make_packet(uint32_t sip, uint32_t dip, uint32_t sport, uint32_t dport,
+                   uint32_t proto, uint32_t tcp_flags, uint32_t pkt_len,
+                   uint64_t ts_ns) {
+  Packet p;
+  p.ts_ns = ts_ns;
+  p.wire_len = pkt_len;
+  p.set(Field::SrcIp, sip);
+  p.set(Field::DstIp, dip);
+  p.set(Field::SrcPort, sport);
+  p.set(Field::DstPort, dport);
+  p.set(Field::Proto, proto);
+  p.set(Field::TcpFlags, tcp_flags);
+  p.set(Field::PktLen, pkt_len);
+  p.set(Field::Ttl, 64);
+  return p;
+}
+
+uint32_t ipv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return (uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+         uint32_t{d};
+}
+
+std::string ipv4_to_string(uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace newton

@@ -1,0 +1,43 @@
+// Packet representation used by the trace generator and the data-plane
+// simulator.  A Packet is the already-parsed view of a wire packet: the
+// global fields K can select from, a timestamp, and the wire length used for
+// bandwidth accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "packet/fields.h"
+
+namespace newton {
+
+struct Packet {
+  uint64_t ts_ns = 0;        // arrival timestamp
+  uint32_t wire_len = 64;    // full frame length in bytes (>= pkt_len field)
+  std::array<uint32_t, kNumFields> fields{};
+
+  uint32_t get(Field f) const { return fields[index(f)]; }
+  void set(Field f, uint32_t v) { fields[index(f)] = v; }
+
+  uint32_t sip() const { return get(Field::SrcIp); }
+  uint32_t dip() const { return get(Field::DstIp); }
+  uint32_t sport() const { return get(Field::SrcPort); }
+  uint32_t dport() const { return get(Field::DstPort); }
+  uint32_t proto() const { return get(Field::Proto); }
+  uint32_t tcp_flags() const { return get(Field::TcpFlags); }
+
+  bool is_tcp() const { return proto() == kProtoTcp; }
+  bool is_udp() const { return proto() == kProtoUdp; }
+};
+
+// Convenience constructor for tests / examples.
+Packet make_packet(uint32_t sip, uint32_t dip, uint32_t sport, uint32_t dport,
+                   uint32_t proto, uint32_t tcp_flags = 0,
+                   uint32_t pkt_len = 64, uint64_t ts_ns = 0);
+
+// Dotted-quad helpers (host byte order).
+uint32_t ipv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+std::string ipv4_to_string(uint32_t ip);
+
+}  // namespace newton

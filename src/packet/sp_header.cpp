@@ -1,0 +1,33 @@
+#include "packet/sp_header.h"
+
+namespace newton {
+
+std::array<uint8_t, kSpHeaderBytes> sp_encode(const SpHeader& h) {
+  std::array<uint8_t, kSpHeaderBytes> out{};
+  out[0] = h.qid;
+  out[1] = h.next_slice;
+  out[2] = static_cast<uint8_t>(h.hash_result >> 8);
+  out[3] = static_cast<uint8_t>(h.hash_result);
+  for (int i = 0; i < 4; ++i) {
+    out[4 + i] = static_cast<uint8_t>(h.state_result >> (24 - 8 * i));
+    out[8 + i] = static_cast<uint8_t>(h.global_result >> (24 - 8 * i));
+  }
+  return out;
+}
+
+std::optional<SpHeader> sp_decode(const uint8_t* data, std::size_t len) {
+  if (data == nullptr || len < kSpHeaderBytes) return std::nullopt;
+  SpHeader h;
+  h.qid = data[0];
+  h.next_slice = data[1];
+  h.hash_result = static_cast<uint16_t>((uint16_t{data[2]} << 8) | data[3]);
+  h.state_result = 0;
+  h.global_result = 0;
+  for (int i = 0; i < 4; ++i) {
+    h.state_result = (h.state_result << 8) | data[4 + i];
+    h.global_result = (h.global_result << 8) | data[8 + i];
+  }
+  return h;
+}
+
+}  // namespace newton

@@ -1,0 +1,40 @@
+// Result-snapshot (SP) header for cross-switch query execution (§5.1).
+//
+// CQE piggybacks a snapshot of module execution results in packets so a
+// query sliced across switches can resume where the previous hop stopped.
+// The paper reserves 12 bytes; operation keys are NOT carried — they are
+// re-derived from packet headers by K at the next hop, so only results
+// travel.  Layout (big-endian on the wire):
+//
+//   byte 0      query id
+//   byte 1      next slice index (which query partition runs next)
+//   bytes 2-3   hash result (16 bits)
+//   bytes 4-7   state result (32 bits)
+//   bytes 8-11  global result (32 bits)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace newton {
+
+struct SpHeader {
+  uint8_t qid = 0;
+  uint8_t next_slice = 0;
+  uint16_t hash_result = 0;
+  uint32_t state_result = 0;
+  uint32_t global_result = 0;
+
+  friend bool operator==(const SpHeader&, const SpHeader&) = default;
+};
+
+inline constexpr std::size_t kSpHeaderBytes = 12;
+
+// Serialize into exactly kSpHeaderBytes bytes.
+std::array<uint8_t, kSpHeaderBytes> sp_encode(const SpHeader& h);
+
+// Parse a header; returns nullopt if the buffer is too short.
+std::optional<SpHeader> sp_decode(const uint8_t* data, std::size_t len);
+
+}  // namespace newton

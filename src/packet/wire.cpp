@@ -1,0 +1,141 @@
+#include "packet/wire.h"
+
+#include <algorithm>
+
+namespace newton {
+namespace {
+
+constexpr std::size_t kEthBytes = 14;
+constexpr std::size_t kIpv4Bytes = 20;
+constexpr std::size_t kTcpBytes = 20;
+constexpr std::size_t kUdpBytes = 8;
+
+void put16(std::vector<uint8_t>& b, std::size_t at, uint16_t v) {
+  b[at] = static_cast<uint8_t>(v >> 8);
+  b[at + 1] = static_cast<uint8_t>(v);
+}
+
+void put32(std::vector<uint8_t>& b, std::size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b[at + static_cast<std::size_t>(i)] =
+        static_cast<uint8_t>(v >> (24 - 8 * i));
+}
+
+uint16_t get16(const std::vector<uint8_t>& b, std::size_t at) {
+  return static_cast<uint16_t>((uint16_t{b[at]} << 8) | b[at + 1]);
+}
+
+uint32_t get32(const std::vector<uint8_t>& b, std::size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+uint16_t ipv4_checksum(const uint8_t* data, std::size_t len) {
+  uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2)
+    sum += (uint32_t{data[i]} << 8) | data[i + 1];
+  if (len % 2) sum += uint32_t{data[len - 1]} << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum);
+}
+
+std::vector<uint8_t> deparse_frame(const Packet& pkt,
+                                   const std::optional<SpHeader>& sp) {
+  const bool tcp = pkt.is_tcp();
+  const std::size_t transport = tcp ? kTcpBytes : kUdpBytes;
+  const std::size_t shim = sp ? kSpHeaderBytes : 0;
+  const std::size_t headers = kEthBytes + shim + kIpv4Bytes + transport;
+  const std::size_t total =
+      std::max<std::size_t>(headers, pkt.wire_len + shim);
+  std::vector<uint8_t> b(total, 0);
+
+  // Ethernet (MACs zero; the simulator routes on L3).
+  put16(b, 12, sp ? kEtherTypeSp : kEtherTypeIpv4);
+  std::size_t at = kEthBytes;
+
+  if (sp) {
+    const auto spb = sp_encode(*sp);
+    std::copy(spb.begin(), spb.end(), b.begin() + static_cast<long>(at));
+    at += kSpHeaderBytes;
+  }
+
+  // IPv4.
+  const std::size_t ip_at = at;
+  b[at] = 0x45;  // version 4, IHL 5
+  b[at + 1] = 0;
+  const std::size_t ip_total = total - kEthBytes - shim;
+  put16(b, at + 2, static_cast<uint16_t>(ip_total));
+  put16(b, at + 4, static_cast<uint16_t>(pkt.get(Field::IpId)));
+  put16(b, at + 6, 0);  // flags/fragment
+  b[at + 8] = static_cast<uint8_t>(pkt.get(Field::Ttl));
+  b[at + 9] = static_cast<uint8_t>(pkt.proto());
+  put32(b, at + 12, pkt.sip());
+  put32(b, at + 16, pkt.dip());
+  put16(b, at + 10, 0);
+  put16(b, at + 10, ipv4_checksum(b.data() + ip_at, kIpv4Bytes));
+  at += kIpv4Bytes;
+
+  // Transport.
+  put16(b, at, static_cast<uint16_t>(pkt.sport()));
+  put16(b, at + 2, static_cast<uint16_t>(pkt.dport()));
+  if (tcp) {
+    b[at + 12] = 0x50;  // data offset 5
+    b[at + 13] = static_cast<uint8_t>(pkt.tcp_flags());
+    put16(b, at + 14, 0xffff);  // window
+  } else {
+    put16(b, at + 4,
+          static_cast<uint16_t>(ip_total - kIpv4Bytes));  // UDP length
+  }
+  return b;
+}
+
+std::optional<ParsedFrame> parse_frame(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kEthBytes + kIpv4Bytes) return std::nullopt;
+  const uint16_t ethertype = get16(frame, 12);
+  std::size_t at = kEthBytes;
+
+  ParsedFrame out;
+  if (ethertype == kEtherTypeSp) {
+    if (frame.size() < at + kSpHeaderBytes + kIpv4Bytes) return std::nullopt;
+    out.sp = sp_decode(frame.data() + at, kSpHeaderBytes);
+    at += kSpHeaderBytes;
+  } else if (ethertype != kEtherTypeIpv4) {
+    return std::nullopt;
+  }
+
+  // IPv4.
+  if (frame.size() < at + kIpv4Bytes) return std::nullopt;
+  if ((frame[at] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (frame[at] & 0x0f) * 4u;
+  if (ihl < kIpv4Bytes || frame.size() < at + ihl) return std::nullopt;
+  if (ipv4_checksum(frame.data() + at, ihl) != 0) return std::nullopt;
+
+  Packet& p = out.packet;
+  const uint16_t ip_total = get16(frame, at + 2);
+  p.set(Field::IpId, get16(frame, at + 4));
+  p.set(Field::Ttl, frame[at + 8]);
+  const uint8_t proto = frame[at + 9];
+  p.set(Field::Proto, proto);
+  p.set(Field::SrcIp, get32(frame, at + 12));
+  p.set(Field::DstIp, get32(frame, at + 16));
+  p.set(Field::PktLen, ip_total);
+  p.wire_len = kEthBytes + ip_total;
+  at += ihl;
+
+  if (proto == kProtoTcp) {
+    if (frame.size() < at + kTcpBytes) return std::nullopt;
+    p.set(Field::SrcPort, get16(frame, at));
+    p.set(Field::DstPort, get16(frame, at + 2));
+    p.set(Field::TcpFlags, frame[at + 13]);
+  } else if (proto == kProtoUdp) {
+    if (frame.size() < at + kUdpBytes) return std::nullopt;
+    p.set(Field::SrcPort, get16(frame, at));
+    p.set(Field::DstPort, get16(frame, at + 2));
+  }
+  return out;
+}
+
+}  // namespace newton

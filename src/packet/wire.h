@@ -1,0 +1,46 @@
+// Wire-format codec: Ethernet / IPv4 / TCP|UDP parsing and deparsing, plus
+// the result-snapshot (SP) shim header.
+//
+// The simulator mostly operates on pre-parsed Packets, but the codec pins
+// down what actually crosses links: §5.1 "re-designs the parser to decode
+// the SP header" — here the SP travels as a 12-byte shim between Ethernet
+// and IPv4, marked by a dedicated EtherType, and "switches will remove the
+// SP header before packets arrive at the destination end-hosts" maps to
+// deparsing without the shim.
+//
+//   [eth dst 6][eth src 6][ethertype 2]            0x0800 plain IPv4
+//   [eth ...][0x88B5][SP 12 bytes][IPv4 ...]       SP-wrapped IPv4
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "packet/packet.h"
+#include "packet/sp_header.h"
+
+namespace newton {
+
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr uint16_t kEtherTypeSp = 0x88B5;  // local-experimental space
+
+struct ParsedFrame {
+  Packet packet;
+  std::optional<SpHeader> sp;
+};
+
+// Serialize a packet to a frame of exactly max(pkt.wire_len, header size)
+// bytes (payload zero-padded).  When `sp` is given, the SP shim is
+// inserted and the frame grows by kSpHeaderBytes.
+std::vector<uint8_t> deparse_frame(const Packet& pkt,
+                                   const std::optional<SpHeader>& sp = {});
+
+// Parse a frame; returns nullopt for anything malformed (short buffers,
+// non-IPv4, bad IHL, bad IPv4 checksum, truncated transport header).
+// The packet's ts_ns is left 0 (timestamps are not on the wire).
+std::optional<ParsedFrame> parse_frame(const std::vector<uint8_t>& frame);
+
+// RFC 1071 checksum over a header.
+uint16_t ipv4_checksum(const uint8_t* data, std::size_t len);
+
+}  // namespace newton

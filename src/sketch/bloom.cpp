@@ -1,0 +1,52 @@
+#include "sketch/bloom.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace newton {
+
+BloomFilter::BloomFilter(std::size_t num_hashes, std::size_t num_bits,
+                         uint32_t seed) {
+  if (num_hashes == 0 || num_bits == 0)
+    throw std::invalid_argument("BloomFilter: hashes and bits must be > 0");
+  seeds_.reserve(num_hashes);
+  for (std::size_t i = 0; i < num_hashes; ++i)
+    seeds_.push_back(seed + static_cast<uint32_t>(i) * 0xc2b2ae35u);
+  bits_.assign(num_bits, false);
+}
+
+bool BloomFilter::insert(std::span<const uint32_t> key) {
+  bool all_set = true;
+  for (uint32_t s : seeds_) {
+    const std::size_t i = hash_words(HashAlgo::Crc32, s, key) % bits_.size();
+    if (!bits_[i]) {
+      all_set = false;
+      bits_[i] = true;
+    }
+  }
+  return all_set;
+}
+
+bool BloomFilter::contains(std::span<const uint32_t> key) const {
+  for (uint32_t s : seeds_) {
+    const std::size_t i = hash_words(HashAlgo::Crc32, s, key) % bits_.size();
+    if (!bits_[i]) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() { bits_.assign(bits_.size(), false); }
+
+std::size_t BloomFilter::popcount() const {
+  std::size_t n = 0;
+  for (bool b : bits_) n += b;
+  return n;
+}
+
+double BloomFilter::expected_fpr(std::size_t n) const {
+  const double k = static_cast<double>(seeds_.size());
+  const double m = static_cast<double>(bits_.size());
+  return std::pow(1.0 - std::exp(-k * static_cast<double>(n) / m), k);
+}
+
+}  // namespace newton

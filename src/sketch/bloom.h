@@ -1,0 +1,47 @@
+// Bloom filter — the reference implementation of the `distinct` primitive's
+// data structure (§4.1: "using Bloom Filter for distinct").  The data-plane
+// state bank realizes it with register arrays + `or` SALUs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/hash.h"
+
+namespace newton {
+
+class BloomFilter {
+ public:
+  // k hash functions over m bits.
+  BloomFilter(std::size_t num_hashes, std::size_t num_bits,
+              uint32_t seed = 0x2545f491);
+
+  // Insert a key; returns true if the key was *possibly already present*
+  // (i.e. every probed bit was already set) — exactly the semantics the
+  // distinct primitive needs: "first occurrence" <=> insert() == false.
+  bool insert(std::span<const uint32_t> key);
+  bool insert(uint32_t key) {
+    return insert(std::span<const uint32_t>{&key, 1});
+  }
+
+  bool contains(std::span<const uint32_t> key) const;
+  bool contains(uint32_t key) const {
+    return contains(std::span<const uint32_t>{&key, 1});
+  }
+
+  void clear();
+
+  std::size_t num_hashes() const { return seeds_.size(); }
+  std::size_t num_bits() const { return bits_.size(); }
+  std::size_t popcount() const;
+
+  // Theoretical false-positive rate after n insertions.
+  double expected_fpr(std::size_t n) const;
+
+ private:
+  std::vector<uint32_t> seeds_;
+  std::vector<bool> bits_;
+};
+
+}  // namespace newton

@@ -1,0 +1,41 @@
+#include "sketch/count_min.h"
+
+#include <stdexcept>
+
+namespace newton {
+
+CountMin::CountMin(std::size_t depth, std::size_t width, uint32_t seed)
+    : depth_(depth), width_(width) {
+  if (depth == 0 || width == 0)
+    throw std::invalid_argument("CountMin: depth and width must be > 0");
+  seeds_.reserve(depth);
+  for (std::size_t i = 0; i < depth; ++i)
+    seeds_.push_back(seed + static_cast<uint32_t>(i) * 0x85ebca6bu);
+  counters_.assign(depth * width, 0);
+}
+
+std::size_t CountMin::row_index(std::size_t row,
+                                std::span<const uint32_t> key) const {
+  return hash_words(HashAlgo::Crc32c, seeds_[row], key) % width_;
+}
+
+uint64_t CountMin::update(std::span<const uint32_t> key, uint64_t delta) {
+  uint64_t est = UINT64_MAX;
+  for (std::size_t r = 0; r < depth_; ++r) {
+    uint64_t& c = counters_[r * width_ + row_index(r, key)];
+    c += delta;
+    est = std::min(est, c);
+  }
+  return est;
+}
+
+uint64_t CountMin::estimate(std::span<const uint32_t> key) const {
+  uint64_t est = UINT64_MAX;
+  for (std::size_t r = 0; r < depth_; ++r)
+    est = std::min(est, counters_[r * width_ + row_index(r, key)]);
+  return est;
+}
+
+void CountMin::clear() { std::fill(counters_.begin(), counters_.end(), 0); }
+
+}  // namespace newton

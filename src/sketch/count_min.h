@@ -1,0 +1,50 @@
+// Count-Min sketch (Cormode & Muthukrishnan) — the reference implementation
+// of the `reduce(f=sum)` primitive's data structure.  The data-plane state
+// bank realizes the same structure with register arrays + `add` SALUs; this
+// class is used for ground truth comparisons and by the sketch-export
+// baselines (Scream).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/hash.h"
+
+namespace newton {
+
+class CountMin {
+ public:
+  // depth = number of rows (independent hashes), width = counters per row.
+  CountMin(std::size_t depth, std::size_t width, uint32_t seed = 0x9e3779b9);
+
+  // Add `delta` to the counters of `key`; returns the post-update estimate.
+  uint64_t update(std::span<const uint32_t> key, uint64_t delta = 1);
+  uint64_t update(uint32_t key, uint64_t delta = 1) {
+    return update(std::span<const uint32_t>{&key, 1}, delta);
+  }
+
+  // Point query: min over rows (never underestimates).
+  uint64_t estimate(std::span<const uint32_t> key) const;
+  uint64_t estimate(uint32_t key) const {
+    return estimate(std::span<const uint32_t>{&key, 1});
+  }
+
+  void clear();
+
+  std::size_t depth() const { return depth_; }
+  std::size_t width() const { return width_; }
+  // Total counters, i.e. register cost on a data plane.
+  std::size_t size() const { return counters_.size(); }
+
+ private:
+  std::size_t row_index(std::size_t row, std::span<const uint32_t> key) const;
+
+  std::size_t depth_;
+  std::size_t width_;
+  std::vector<uint32_t> seeds_;
+  std::vector<uint64_t> counters_;  // depth_ * width_, row-major
+};
+
+}  // namespace newton

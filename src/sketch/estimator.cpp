@@ -1,0 +1,60 @@
+#include "sketch/estimator.h"
+
+#include <cmath>
+
+namespace newton {
+
+CmEstimate cm_error(std::size_t width, std::size_t depth) {
+  CmEstimate e;
+  e.epsilon = width == 0 ? 1.0 : M_E / static_cast<double>(width);
+  e.delta = std::exp(-static_cast<double>(depth));
+  return e;
+}
+
+double cm_expected_overcount(std::size_t width, std::size_t depth,
+                             double window_mass) {
+  if (width == 0) return window_mass;
+  // Per-row collision mass ~ Exponential with mean mass/width (heavy-tailed
+  // streams concentrate mass in few counters; the exponential is a standard
+  // conservative surrogate).  The minimum of d iid exponentials has mean
+  // (mass/width)/d.
+  const double per_row = window_mass / static_cast<double>(width);
+  return per_row / static_cast<double>(depth == 0 ? 1 : depth);
+}
+
+std::size_t recommend_cm_width(double window_mass, double max_overcount,
+                               std::size_t depth, std::size_t max_width) {
+  if (max_overcount <= 0) return max_width;
+  std::size_t w = 64;
+  while (w < max_width &&
+         cm_expected_overcount(w, depth, window_mass) > max_overcount)
+    w <<= 1;
+  return w;
+}
+
+double bf_fpr(std::size_t bits, std::size_t hashes, double items) {
+  if (bits == 0) return 1.0;
+  const double k = static_cast<double>(hashes);
+  const double m = static_cast<double>(bits);
+  return std::pow(1.0 - std::exp(-k * items / m), k);
+}
+
+std::size_t recommend_bf_bits(double items, double target_fpr,
+                              std::size_t hashes, std::size_t max_bits) {
+  if (target_fpr <= 0) return max_bits;
+  std::size_t m = 64;
+  while (m < max_bits && bf_fpr(m, hashes, items) > target_fpr) m <<= 1;
+  return m;
+}
+
+double cm_false_promotion_probability(std::size_t width, std::size_t depth,
+                                      double window_mass, double margin) {
+  if (width == 0) return 1.0;
+  if (margin <= 0) return 1.0;
+  // P[min of d iid Exp(mean mu) >= margin] = exp(-d * margin / mu).
+  const double mu = window_mass / static_cast<double>(width);
+  if (mu <= 0) return 0.0;
+  return std::exp(-static_cast<double>(depth) * margin / mu);
+}
+
+}  // namespace newton

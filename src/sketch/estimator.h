@@ -1,0 +1,51 @@
+// Analytical accuracy estimates for the sketch geometries Newton deploys —
+// the control plane's tool for sizing sketches (and for explaining what a
+// width degradation costs, see core/scheduler.h).
+//
+// Count-Min (Cormode & Muthukrishnan): with width w and depth d, a point
+// query overestimates by at most (e/w)·N with probability ≥ 1 − e^−d,
+// where N is the stream mass in the window.  Bloom filter: k hashes over
+// m bits holding n items yield FPR ≈ (1 − e^{−kn/m})^k.
+#pragma once
+
+#include <cstddef>
+
+namespace newton {
+
+struct CmEstimate {
+  double epsilon;  // relative error bound: overcount <= epsilon * mass
+  double delta;    // failure probability of that bound
+};
+
+// Error profile of a d x w Count-Min sketch.
+CmEstimate cm_error(std::size_t width, std::size_t depth);
+
+// Expected (mean) overcount of a point query under uniform collision mass:
+// mass / width per row, reduced by taking the min over d rows (approximated
+// with the standard d-th order-statistic shrinkage mass/(width) * 1/d ...
+// we use the conservative mean of the minimum of d iid exponentials).
+double cm_expected_overcount(std::size_t width, std::size_t depth,
+                             double window_mass);
+
+// Smallest power-of-two width such that the expected overcount stays under
+// `max_overcount` for the given window mass and depth.
+std::size_t recommend_cm_width(double window_mass, double max_overcount,
+                               std::size_t depth,
+                               std::size_t max_width = 1u << 20);
+
+// Bloom-filter false-positive rate for n items in m bits with k hashes.
+double bf_fpr(std::size_t bits, std::size_t hashes, double items);
+
+// Smallest power-of-two bit count keeping the FPR under `target` for the
+// expected distinct-item count.
+std::size_t recommend_bf_bits(double items, double target_fpr,
+                              std::size_t hashes,
+                              std::size_t max_bits = 1u << 22);
+
+// Probability that a key whose true count sits `margin` below a threshold
+// is falsely promoted by CM overcounting (a false positive of a `when >=`
+// query), under an exponential tail approximation of the collision mass.
+double cm_false_promotion_probability(std::size_t width, std::size_t depth,
+                                      double window_mass, double margin);
+
+}  // namespace newton

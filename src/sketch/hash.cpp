@@ -1,0 +1,84 @@
+#include "sketch/hash.h"
+
+#include <array>
+
+namespace newton {
+namespace {
+
+template <uint32_t Poly>
+constexpr std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (Poly ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrc32Table = make_crc_table<0xEDB88320u>();
+constexpr auto kCrc32cTable = make_crc_table<0x82F63B78u>();
+
+uint32_t crc(const std::array<uint32_t, 256>& table, uint32_t seed,
+             std::span<const uint8_t> data) {
+  uint32_t c = ~seed;
+  for (uint8_t b : data) c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  return ~c;
+}
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint32_t hash_bytes(HashAlgo algo, uint32_t seed,
+                    std::span<const uint8_t> data) {
+  switch (algo) {
+    case HashAlgo::Crc32:
+      return crc(kCrc32Table, seed, data);
+    case HashAlgo::Crc32c:
+      return crc(kCrc32cTable, seed, data);
+    case HashAlgo::Mix64: {
+      uint64_t h = seed;
+      for (uint8_t b : data) h = splitmix64(h ^ b);
+      return static_cast<uint32_t>(h ^ (h >> 32));
+    }
+    case HashAlgo::Identity: {
+      uint32_t v = 0;
+      const std::size_t n = data.size() < 4 ? data.size() : 4;
+      for (std::size_t i = 0; i < n; ++i) v |= uint32_t{data[i]} << (8 * i);
+      return v;
+    }
+  }
+  return 0;
+}
+
+uint32_t hash_u32(HashAlgo algo, uint32_t seed, uint32_t value) {
+  if (algo == HashAlgo::Identity) return value;
+  std::array<uint8_t, 4> bytes{
+      static_cast<uint8_t>(value), static_cast<uint8_t>(value >> 8),
+      static_cast<uint8_t>(value >> 16), static_cast<uint8_t>(value >> 24)};
+  return hash_bytes(algo, seed, bytes);
+}
+
+uint32_t hash_words(HashAlgo algo, uint32_t seed,
+                    std::span<const uint32_t> words) {
+  if (algo == HashAlgo::Identity)
+    return words.empty() ? 0 : words.front();
+  uint32_t h = seed;
+  for (uint32_t w : words) h = hash_u32(algo, h ^ 0x5bd1e995u, w);
+  // CRC is affine over GF(2): two seeds yield XOR-shifted copies of the
+  // same function, which would make sketch rows perfectly correlated (the
+  // min over rows degenerates to one row).  Hardware uses a DIFFERENT
+  // polynomial per row; we model that with a seed-keyed multiplicative
+  // finalizer, which breaks the affinity.
+  uint64_t x = (uint64_t{h} << 32) ^ (seed * 0x9E3779B9ull + 0x7F4A7C15ull);
+  x = splitmix64(x);
+  return static_cast<uint32_t>(x ^ (x >> 32));
+}
+
+}  // namespace newton

@@ -1,0 +1,137 @@
+#include "trace/attacks.h"
+
+namespace newton {
+namespace {
+
+uint32_t spoofed_ip(std::mt19937& rng) {
+  // Random source outside the background client pool.
+  return ipv4(198, 18, static_cast<uint8_t>(rng() & 0xff),
+              static_cast<uint8_t>(rng() & 0xff));
+}
+
+uint16_t rand_eph(std::mt19937& rng) {
+  return static_cast<uint16_t>(32768 + (rng() % 28000));
+}
+
+}  // namespace
+
+InjectInfo inject_syn_flood(Trace& trace, uint32_t victim,
+                            std::size_t num_sources,
+                            std::size_t syns_per_source, uint64_t start_ns,
+                            std::mt19937& rng) {
+  InjectInfo info{victim, {}, 0};
+  uint64_t t = start_ns;
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    const uint32_t src = spoofed_ip(rng);
+    info.attackers.push_back(src);
+    for (std::size_t i = 0; i < syns_per_source; ++i) {
+      trace.packets.push_back(make_packet(src, victim, rand_eph(rng), 80,
+                                          kProtoTcp, kTcpSyn, 64, t));
+      t += 5'000;  // 5us — flood rate
+      ++info.packets_injected;
+    }
+  }
+  return info;
+}
+
+InjectInfo inject_port_scan(Trace& trace, uint32_t scanner, uint32_t victim,
+                            std::size_t num_ports, uint64_t start_ns,
+                            std::mt19937& rng) {
+  InjectInfo info{victim, {scanner}, 0};
+  uint64_t t = start_ns;
+  for (std::size_t p = 0; p < num_ports; ++p) {
+    trace.packets.push_back(make_packet(
+        scanner, victim, rand_eph(rng), static_cast<uint16_t>(1 + p),
+        kProtoTcp, kTcpSyn, 64, t));
+    t += 50'000;
+    ++info.packets_injected;
+  }
+  return info;
+}
+
+InjectInfo inject_udp_flood(Trace& trace, uint32_t victim,
+                            std::size_t num_sources,
+                            std::size_t pkts_per_source, uint64_t start_ns,
+                            std::mt19937& rng) {
+  InjectInfo info{victim, {}, 0};
+  uint64_t t = start_ns;
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    const uint32_t src = spoofed_ip(rng);
+    info.attackers.push_back(src);
+    for (std::size_t i = 0; i < pkts_per_source; ++i) {
+      trace.packets.push_back(make_packet(src, victim, rand_eph(rng), 123,
+                                          kProtoUdp, 0, 512, t));
+      t += 2'000;
+      ++info.packets_injected;
+    }
+  }
+  return info;
+}
+
+InjectInfo inject_ssh_brute(Trace& trace, uint32_t attacker, uint32_t victim,
+                            std::size_t num_attempts, uint64_t start_ns,
+                            std::mt19937& rng) {
+  InjectInfo info{victim, {attacker}, 0};
+  uint64_t t = start_ns;
+  const std::size_t before = trace.packets.size();
+  for (std::size_t i = 0; i < num_attempts; ++i) {
+    // Short, uniform-length connections: a failed login exchange.
+    emit_tcp_connection(trace.packets, attacker, victim, rand_eph(rng), 22,
+                        /*data_pkts=*/3, t, /*gap_ns=*/10'000, rng);
+    t += 200'000;
+  }
+  info.packets_injected = trace.packets.size() - before;
+  return info;
+}
+
+InjectInfo inject_slowloris(Trace& trace, uint32_t attacker, uint32_t victim,
+                            std::size_t num_conns, uint64_t start_ns,
+                            std::mt19937& rng) {
+  InjectInfo info{victim, {attacker}, 0};
+  uint64_t t = start_ns;
+  const std::size_t before = trace.packets.size();
+  for (std::size_t i = 0; i < num_conns; ++i) {
+    // Handshake + a single tiny payload packet; the connection then idles.
+    emit_tcp_connection(trace.packets, attacker, victim, rand_eph(rng), 80,
+                        /*data_pkts=*/1, t, /*gap_ns=*/15'000, rng);
+    t += 50'000;
+  }
+  info.packets_injected = trace.packets.size() - before;
+  return info;
+}
+
+InjectInfo inject_super_spreader(Trace& trace, uint32_t source,
+                                 std::size_t num_dsts, uint64_t start_ns,
+                                 std::mt19937& rng) {
+  InjectInfo info{source, {source}, 0};
+  uint64_t t = start_ns;
+  for (std::size_t d = 0; d < num_dsts; ++d) {
+    const uint32_t dst = ipv4(172, 16, static_cast<uint8_t>(d >> 8),
+                              static_cast<uint8_t>(d));
+    trace.packets.push_back(make_packet(source, dst, rand_eph(rng), 443,
+                                        kProtoTcp, kTcpSyn, 64, t));
+    t += 30'000;
+    ++info.packets_injected;
+  }
+  return info;
+}
+
+InjectInfo inject_dns_no_tcp(Trace& trace, uint32_t host, uint32_t resolver,
+                             std::size_t num_responses, uint64_t start_ns,
+                             std::mt19937& rng) {
+  InjectInfo info{host, {resolver}, 0};
+  uint64_t t = start_ns;
+  for (std::size_t i = 0; i < num_responses; ++i) {
+    const uint16_t sport = rand_eph(rng);
+    // Query out, response back; no TCP connection follows.
+    trace.packets.push_back(
+        make_packet(host, resolver, sport, 53, kProtoUdp, 0, 80, t));
+    trace.packets.push_back(make_packet(resolver, host, 53, sport, kProtoUdp,
+                                        0, 220, t + 8'000));
+    t += 100'000;
+    info.packets_injected += 2;
+  }
+  return info;
+}
+
+}  // namespace newton

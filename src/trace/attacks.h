@@ -1,0 +1,64 @@
+// Attack-traffic injectors.  Each injector appends the attack's packets to a
+// trace and returns the identities the corresponding query (Q1-Q9) should
+// detect, which the tests and the accuracy benches use as ground truth seeds.
+// Call Trace::sort_by_time() after the last injection.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "trace/trace_gen.h"
+
+namespace newton {
+
+struct InjectInfo {
+  uint32_t victim = 0;                // attacked / detected host
+  std::vector<uint32_t> attackers;    // sources participating
+  std::size_t packets_injected = 0;
+};
+
+// SYN flood against `victim`: `num_sources` spoofed clients each send
+// `syns_per_source` SYNs and never complete the handshake (Q1, Q6).
+InjectInfo inject_syn_flood(Trace& trace, uint32_t victim,
+                            std::size_t num_sources,
+                            std::size_t syns_per_source, uint64_t start_ns,
+                            std::mt19937& rng);
+
+// TCP port scan: `scanner` probes `num_ports` distinct ports on `victim`
+// with bare SYNs (Q4).
+InjectInfo inject_port_scan(Trace& trace, uint32_t scanner, uint32_t victim,
+                            std::size_t num_ports, uint64_t start_ns,
+                            std::mt19937& rng);
+
+// UDP DDoS: many sources flood `victim` with UDP datagrams (Q5).
+InjectInfo inject_udp_flood(Trace& trace, uint32_t victim,
+                            std::size_t num_sources,
+                            std::size_t pkts_per_source, uint64_t start_ns,
+                            std::mt19937& rng);
+
+// SSH brute force: `attacker` opens `num_attempts` short, completed TCP
+// connections to victim:22 with uniform small payloads (Q2).
+InjectInfo inject_ssh_brute(Trace& trace, uint32_t attacker, uint32_t victim,
+                            std::size_t num_attempts, uint64_t start_ns,
+                            std::mt19937& rng);
+
+// Slowloris: `attacker` holds `num_conns` completed connections to
+// victim:80, each transferring almost no bytes (Q8).
+InjectInfo inject_slowloris(Trace& trace, uint32_t attacker, uint32_t victim,
+                            std::size_t num_conns, uint64_t start_ns,
+                            std::mt19937& rng);
+
+// Super spreader: `source` contacts `num_dsts` distinct destinations (Q3).
+InjectInfo inject_super_spreader(Trace& trace, uint32_t source,
+                                 std::size_t num_dsts, uint64_t start_ns,
+                                 std::mt19937& rng);
+
+// DNS-followed-by-silence: `host` receives `num_responses` DNS responses
+// from `resolver` but never opens a TCP connection afterwards — the pattern
+// Q9 looks for (possible DNS-based C&C or reflection victim).
+InjectInfo inject_dns_no_tcp(Trace& trace, uint32_t host, uint32_t resolver,
+                             std::size_t num_responses, uint64_t start_ns,
+                             std::mt19937& rng);
+
+}  // namespace newton

@@ -1,0 +1,144 @@
+#include "trace/pcap.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "packet/wire.h"
+
+namespace newton {
+namespace {
+
+constexpr uint32_t kMagicUsec = 0xA1B2C3D4;
+constexpr uint32_t kMagicNsec = 0xA1B23C4D;
+constexpr uint32_t kMagicUsecSwapped = 0xD4C3B2A1;
+constexpr uint32_t kMagicNsecSwapped = 0x4D3CB2A1;
+constexpr uint32_t kLinkEthernet = 1;
+
+uint32_t swap32(uint32_t v) {
+  return ((v & 0xffu) << 24) | ((v & 0xff00u) << 8) | ((v >> 8) & 0xff00u) |
+         (v >> 24);
+}
+
+uint16_t swap16(uint16_t v) {
+  return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+
+struct Reader {
+  std::ifstream is;
+  bool swapped = false;
+
+  bool read_raw(void* dst, std::size_t n) {
+    is.read(static_cast<char*>(dst), static_cast<long>(n));
+    return static_cast<bool>(is);
+  }
+  bool u32(uint32_t& v) {
+    if (!read_raw(&v, 4)) return false;
+    if (swapped) v = swap32(v);
+    return true;
+  }
+  bool u16(uint16_t& v) {
+    if (!read_raw(&v, 2)) return false;
+    if (swapped) v = swap16(v);
+    return true;
+  }
+};
+
+void put32le(std::ofstream& os, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  os.write(b, 4);
+}
+
+void put16le(std::ofstream& os, uint16_t v) {
+  char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  os.write(b, 2);
+}
+
+}  // namespace
+
+Trace load_pcap(const std::string& path, PcapLoadStats* stats) {
+  Reader r;
+  r.is.open(path, std::ios::binary);
+  if (!r.is) throw std::runtime_error("pcap: cannot open " + path);
+
+  uint32_t magic;
+  if (!r.read_raw(&magic, 4)) throw std::runtime_error("pcap: empty file");
+  bool nsec;
+  if (magic == kMagicUsec) {
+    nsec = false;
+  } else if (magic == kMagicNsec) {
+    nsec = true;
+  } else if (magic == kMagicUsecSwapped) {
+    nsec = false;
+    r.swapped = true;
+  } else if (magic == kMagicNsecSwapped) {
+    nsec = true;
+    r.swapped = true;
+  } else {
+    throw std::runtime_error("pcap: bad magic");
+  }
+
+  uint16_t ver_major, ver_minor;
+  uint32_t thiszone, sigfigs, snaplen, linktype;
+  if (!r.u16(ver_major) || !r.u16(ver_minor) || !r.u32(thiszone) ||
+      !r.u32(sigfigs) || !r.u32(snaplen) || !r.u32(linktype))
+    throw std::runtime_error("pcap: truncated global header");
+  if (linktype != kLinkEthernet)
+    throw std::runtime_error("pcap: unsupported linktype " +
+                             std::to_string(linktype));
+
+  Trace t;
+  t.name = path;
+  PcapLoadStats st;
+  for (;;) {
+    uint32_t ts_sec, ts_frac, incl_len, orig_len;
+    if (!r.u32(ts_sec)) break;  // clean EOF
+    if (!r.u32(ts_frac) || !r.u32(incl_len) || !r.u32(orig_len))
+      throw std::runtime_error("pcap: truncated record header");
+    if (incl_len > (1u << 24))
+      throw std::runtime_error("pcap: implausible record length");
+    std::vector<uint8_t> frame(incl_len);
+    if (!r.read_raw(frame.data(), incl_len))
+      throw std::runtime_error("pcap: truncated record body");
+    ++st.frames;
+    const auto parsed = parse_frame(frame);
+    if (!parsed) {
+      ++st.skipped;
+      continue;
+    }
+    Packet p = parsed->packet;
+    p.ts_ns = uint64_t{ts_sec} * 1'000'000'000ull +
+              (nsec ? ts_frac : uint64_t{ts_frac} * 1'000ull);
+    p.wire_len = orig_len;
+    t.packets.push_back(p);
+    ++st.parsed;
+  }
+  if (stats) *stats = st;
+  return t;
+}
+
+void save_pcap(const Trace& t, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("pcap: cannot open " + path);
+  put32le(os, kMagicNsec);
+  put16le(os, 2);
+  put16le(os, 4);
+  put32le(os, 0);          // thiszone
+  put32le(os, 0);          // sigfigs
+  put32le(os, 1 << 16);    // snaplen
+  put32le(os, kLinkEthernet);
+  for (const Packet& p : t.packets) {
+    const auto frame = deparse_frame(p);
+    put32le(os, static_cast<uint32_t>(p.ts_ns / 1'000'000'000ull));
+    put32le(os, static_cast<uint32_t>(p.ts_ns % 1'000'000'000ull));
+    put32le(os, static_cast<uint32_t>(frame.size()));
+    put32le(os, static_cast<uint32_t>(frame.size()));
+    os.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<long>(frame.size()));
+  }
+  if (!os) throw std::runtime_error("pcap: write failed");
+}
+
+}  // namespace newton

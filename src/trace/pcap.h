@@ -1,0 +1,29 @@
+// Classic libpcap file format support, so the monitor can replay real
+// captures (and export synthetic ones for inspection in standard tools).
+//
+// Supports both byte orders, microsecond (0xA1B2C3D4) and nanosecond
+// (0xA1B23C4D) timestamp magics, and LINKTYPE_ETHERNET.  Frames that do not
+// parse as Ethernet/IPv4 are counted and skipped.
+#pragma once
+
+#include <string>
+
+#include "trace/trace_gen.h"
+
+namespace newton {
+
+struct PcapLoadStats {
+  std::size_t frames = 0;
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;  // non-IPv4 or malformed
+};
+
+// Load an Ethernet pcap into a Trace (timestamps become ts_ns).
+// Throws std::runtime_error on malformed container structure.
+Trace load_pcap(const std::string& path, PcapLoadStats* stats = nullptr);
+
+// Write the trace as a nanosecond-resolution pcap (frames synthesized via
+// the wire codec).
+void save_pcap(const Trace& t, const std::string& path);
+
+}  // namespace newton

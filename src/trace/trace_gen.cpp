@@ -1,0 +1,157 @@
+#include "trace/trace_gen.h"
+
+#include <algorithm>
+
+#include "trace/zipf.h"
+
+namespace newton {
+namespace {
+
+// Address pools: clients in 10.0.0.0/16-ish, servers in 172.16.0.0/16-ish.
+uint32_t client_ip(std::size_t i) {
+  return ipv4(10, 0, static_cast<uint8_t>(i >> 8), static_cast<uint8_t>(i));
+}
+uint32_t server_ip(std::size_t i) {
+  return ipv4(172, 16, static_cast<uint8_t>(i >> 8), static_cast<uint8_t>(i));
+}
+
+uint16_t ephemeral_port(std::mt19937& rng) {
+  std::uniform_int_distribution<uint32_t> d(32768, 60999);
+  return static_cast<uint16_t>(d(rng));
+}
+
+uint32_t payload_len(std::mt19937& rng) {
+  // Bimodal: small (ACK-sized) and MTU-sized packets.
+  std::bernoulli_distribution big(0.45);
+  if (big(rng)) return 1400;
+  std::uniform_int_distribution<uint32_t> d(64, 320);
+  return d(rng);
+}
+
+}  // namespace
+
+void Trace::sort_by_time() {
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+}
+
+void emit_tcp_connection(std::vector<Packet>& out, uint32_t client,
+                         uint32_t server, uint16_t sport, uint16_t dport,
+                         std::size_t data_pkts, uint64_t start_ns,
+                         uint64_t gap_ns, std::mt19937& rng, bool complete) {
+  uint64_t t = start_ns;
+  auto fwd = [&](uint32_t flags, uint32_t len) {
+    out.push_back(make_packet(client, server, sport, dport, kProtoTcp, flags,
+                              len, t));
+    t += gap_ns;
+  };
+  auto rev = [&](uint32_t flags, uint32_t len) {
+    out.push_back(make_packet(server, client, dport, sport, kProtoTcp, flags,
+                              len, t));
+    t += gap_ns;
+  };
+
+  fwd(kTcpSyn, 64);
+  if (!complete) return;
+  rev(kTcpSynAck, 64);
+  fwd(kTcpAck, 64);
+
+  std::bernoulli_distribution from_server(0.6);  // responses dominate bytes
+  for (std::size_t i = 0; i < data_pkts; ++i) {
+    const uint32_t len = payload_len(rng);
+    if (from_server(rng))
+      rev(kTcpAck | kTcpPsh, len);
+    else
+      fwd(kTcpAck | kTcpPsh, len);
+  }
+
+  fwd(kTcpFin | kTcpAck, 64);
+  rev(kTcpFin | kTcpAck, 64);
+  fwd(kTcpAck, 64);
+}
+
+TraceProfile caida_like(uint32_t seed) {
+  TraceProfile p;
+  p.name = "caida-like";
+  p.num_flows = 20'000;
+  p.zipf_alpha = 1.15;
+  p.max_flow_pkts = 2'000;
+  p.tcp_fraction = 0.88;
+  p.dns_fraction = 0.20;
+  p.num_hosts = 4'096;
+  p.seed = seed;
+  return p;
+}
+
+TraceProfile mawi_like(uint32_t seed) {
+  TraceProfile p;
+  p.name = "mawi-like";
+  p.num_flows = 20'000;
+  p.zipf_alpha = 1.0;
+  p.max_flow_pkts = 800;
+  p.tcp_fraction = 0.70;
+  p.dns_fraction = 0.45;
+  p.num_hosts = 8'192;
+  p.seed = seed;
+  return p;
+}
+
+Trace generate_trace(const TraceProfile& profile) {
+  std::mt19937 rng(profile.seed);
+  Trace trace;
+  trace.name = profile.name;
+
+  const uint64_t duration_ns =
+      static_cast<uint64_t>(profile.duration_sec * 1e9);
+  std::uniform_int_distribution<uint64_t> start_dist(0, duration_ns);
+  std::uniform_int_distribution<std::size_t> host_dist(0,
+                                                       profile.num_hosts - 1);
+  // Server popularity is itself Zipf-distributed (a few hot services).
+  ZipfSampler server_pop(profile.num_hosts, 0.9);
+  ZipfSampler flow_size(profile.max_flow_pkts, profile.zipf_alpha);
+  std::bernoulli_distribution is_tcp(profile.tcp_fraction);
+  std::bernoulli_distribution is_dns(profile.dns_fraction);
+  // Common service ports with rough popularity weights.
+  const std::vector<uint16_t> tcp_ports{80, 443, 443, 443, 80, 22, 25, 8080};
+  std::uniform_int_distribution<std::size_t> tcp_port_dist(
+      0, tcp_ports.size() - 1);
+
+  for (std::size_t f = 0; f < profile.num_flows; ++f) {
+    const uint32_t client = client_ip(host_dist(rng));
+    const uint32_t server = server_ip(server_pop.sample(rng));
+    const uint64_t start = start_dist(rng);
+    const std::size_t pkts = flow_size.sample(rng) + 1;
+    // Spread the flow's packets over a window proportional to its size.
+    const uint64_t gap = 20'000 + (rng() % 80'000);  // 20-100us inter-packet
+
+    if (is_tcp(rng)) {
+      emit_tcp_connection(trace.packets, client, server,
+                          ephemeral_port(rng), tcp_ports[tcp_port_dist(rng)],
+                          pkts, start, gap, rng, /*complete=*/true);
+    } else {
+      const uint16_t sport = ephemeral_port(rng);
+      const uint16_t dport =
+          is_dns(rng) ? 53 : static_cast<uint16_t>(1024 + (rng() % 40000));
+      uint64_t t = start;
+      const std::size_t udp_pkts = std::min<std::size_t>(pkts, 64);
+      for (std::size_t i = 0; i < udp_pkts; ++i) {
+        const bool reply = (i % 2 == 1) && dport == 53;
+        if (reply)
+          trace.packets.push_back(make_packet(server, client, dport, sport,
+                                              kProtoUdp, 0, 180, t));
+        else
+          trace.packets.push_back(make_packet(client, server, sport, dport,
+                                              kProtoUdp, 0,
+                                              dport == 53 ? 80 : 512, t));
+        t += gap;
+      }
+    }
+  }
+
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace newton

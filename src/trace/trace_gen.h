@@ -1,0 +1,63 @@
+// Synthetic trace generation standing in for the CAIDA and MAWI packet
+// traces used by the paper's evaluation (see DESIGN.md, substitutions).
+//
+// A Trace is a time-ordered packet stream as seen at one monitoring point
+// (both directions of each connection traverse it).  Background traffic is
+// built from Zipf-sized flows with realistic TCP handshake/teardown
+// sequences; attack traffic is layered on top by the injectors in
+// trace/attacks.h.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace newton {
+
+struct Trace {
+  std::string name;
+  std::vector<Packet> packets;  // sorted by ts_ns
+
+  std::size_t size() const { return packets.size(); }
+  uint64_t duration_ns() const {
+    return packets.empty() ? 0 : packets.back().ts_ns - packets.front().ts_ns;
+  }
+  // Re-sort by timestamp (injectors append out of order).
+  void sort_by_time();
+};
+
+// Knobs describing a background-traffic profile.
+struct TraceProfile {
+  std::string name;
+  std::size_t num_flows = 20'000;
+  double zipf_alpha = 1.1;        // flow-size skew
+  std::size_t max_flow_pkts = 2'000;
+  double tcp_fraction = 0.85;     // rest is UDP (incl. DNS)
+  double dns_fraction = 0.25;     // of UDP flows, fraction to port 53
+  double duration_sec = 1.0;
+  std::size_t num_hosts = 4'096;  // address pool per side
+  uint32_t seed = 1;
+};
+
+// Backbone-style profile: TCP-dominated, strongly heavy-tailed.
+TraceProfile caida_like(uint32_t seed = 1);
+// Transpacific-link-style profile: more UDP/DNS, shorter flows.
+TraceProfile mawi_like(uint32_t seed = 2);
+
+// Generate the background trace for a profile (deterministic per seed).
+Trace generate_trace(const TraceProfile& profile);
+
+// Emit the bidirectional packet sequence of one TCP connection into `out`.
+// `data_pkts` counts payload packets after the handshake; when
+// `complete` is false the connection never finishes its handshake (only the
+// client SYNs are emitted, `data_pkts` is ignored).
+void emit_tcp_connection(std::vector<Packet>& out, uint32_t client,
+                         uint32_t server, uint16_t sport, uint16_t dport,
+                         std::size_t data_pkts, uint64_t start_ns,
+                         uint64_t gap_ns, std::mt19937& rng,
+                         bool complete = true);
+
+}  // namespace newton

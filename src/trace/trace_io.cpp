@@ -1,0 +1,163 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace newton {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'T', 'R', 'C'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  std::array<char, sizeof(T)> buf;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(buf.data(), buf.size());
+}
+
+template <typename T>
+T get(std::istream& is) {
+  std::array<char, sizeof(T)> buf;
+  is.read(buf.data(), buf.size());
+  if (!is) throw std::runtime_error("trace_io: truncated stream");
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    v |= static_cast<T>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  return v;
+}
+
+// Parse "a.b.c.d" or a raw unsigned integer.
+std::optional<uint32_t> parse_ip(const std::string& s) {
+  if (s.find('.') == std::string::npos) {
+    try {
+      return static_cast<uint32_t>(std::stoul(s));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  unsigned a, b, c, d;
+  char extra;
+  std::istringstream iss(s);
+  char dot1, dot2, dot3;
+  if (!(iss >> a >> dot1 >> b >> dot2 >> c >> dot3 >> d) || dot1 != '.' ||
+      dot2 != '.' || dot3 != '.' || a > 255 || b > 255 || c > 255 || d > 255)
+    return std::nullopt;
+  if (iss >> extra) return std::nullopt;
+  return ipv4(static_cast<uint8_t>(a), static_cast<uint8_t>(b),
+              static_cast<uint8_t>(c), static_cast<uint8_t>(d));
+}
+
+}  // namespace
+
+void write_trace(const Trace& t, std::ostream& os) {
+  os.write(kMagic, 4);
+  put<uint32_t>(os, kVersion);
+  put<uint32_t>(os, static_cast<uint32_t>(t.name.size()));
+  os.write(t.name.data(), static_cast<long>(t.name.size()));
+  put<uint64_t>(os, t.packets.size());
+  for (const Packet& p : t.packets) {
+    put<uint64_t>(os, p.ts_ns);
+    put<uint32_t>(os, p.wire_len);
+    for (uint32_t f : p.fields) put<uint32_t>(os, f);
+  }
+  if (!os) throw std::runtime_error("trace_io: write failed");
+}
+
+Trace read_trace(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("trace_io: bad magic");
+  const uint32_t version = get<uint32_t>(is);
+  if (version != kVersion)
+    throw std::runtime_error("trace_io: unsupported version " +
+                             std::to_string(version));
+  Trace t;
+  const uint32_t name_len = get<uint32_t>(is);
+  if (name_len > (1u << 20))
+    throw std::runtime_error("trace_io: implausible name length");
+  t.name.resize(name_len);
+  is.read(t.name.data(), name_len);
+  const uint64_t count = get<uint64_t>(is);
+  t.packets.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Packet p;
+    p.ts_ns = get<uint64_t>(is);
+    p.wire_len = get<uint32_t>(is);
+    for (std::size_t f = 0; f < kNumFields; ++f)
+      p.fields[f] = get<uint32_t>(is);
+    t.packets.push_back(p);
+  }
+  return t;
+}
+
+void save_trace(const Trace& t, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("trace_io: cannot open " + path);
+  write_trace(t, os);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("trace_io: cannot open " + path);
+  return read_trace(is);
+}
+
+std::optional<Packet> parse_csv_line(const std::string& line) {
+  std::string trimmed = line;
+  const auto hash = trimmed.find('#');
+  if (hash != std::string::npos) trimmed.resize(hash);
+  if (trimmed.find_first_not_of(" \t\r\n") == std::string::npos)
+    return std::nullopt;
+
+  std::vector<std::string> cols;
+  std::istringstream iss(trimmed);
+  std::string col;
+  while (std::getline(iss, col, ',')) cols.push_back(col);
+  if (cols.size() != 8) return std::nullopt;
+
+  const auto sip = parse_ip(cols[1]);
+  const auto dip = parse_ip(cols[2]);
+  if (!sip || !dip) return std::nullopt;
+  try {
+    return make_packet(*sip, *dip, static_cast<uint32_t>(std::stoul(cols[3])),
+                       static_cast<uint32_t>(std::stoul(cols[4])),
+                       static_cast<uint32_t>(std::stoul(cols[5])),
+                       static_cast<uint32_t>(std::stoul(cols[6])),
+                       static_cast<uint32_t>(std::stoul(cols[7])),
+                       std::stoull(cols[0]));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+void save_trace_csv(const Trace& t, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace_io: cannot open " + path);
+  os << "# ts_ns,sip,dip,sport,dport,proto,tcp_flags,pkt_len\n";
+  for (const Packet& p : t.packets) {
+    os << p.ts_ns << ',' << ipv4_to_string(p.sip()) << ','
+       << ipv4_to_string(p.dip()) << ',' << p.sport() << ',' << p.dport()
+       << ',' << p.proto() << ',' << p.tcp_flags() << ','
+       << p.get(Field::PktLen) << '\n';
+  }
+  if (!os) throw std::runtime_error("trace_io: write failed");
+}
+
+Trace load_trace_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("trace_io: cannot open " + path);
+  Trace t;
+  t.name = path;
+  std::string line;
+  while (std::getline(is, line))
+    if (auto p = parse_csv_line(line)) t.packets.push_back(*p);
+  return t;
+}
+
+}  // namespace newton

@@ -1,0 +1,32 @@
+// Trace persistence: a compact binary format for replaying identical
+// workloads across runs/machines, and a CSV form for hand-written or
+// externally-converted traces (e.g. reduced pcaps).
+//
+// Binary layout: magic "NTRC", u32 version, u32 name length + bytes,
+// u64 packet count, then per packet: u64 ts_ns, u32 wire_len,
+// kNumFields x u32 fields (little-endian).
+//
+// CSV columns: ts_ns,sip,dip,sport,dport,proto,tcp_flags,pkt_len
+// (IPs dotted-quad or raw u32; '#' comments and blank lines ignored).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace_gen.h"
+
+namespace newton {
+
+// Binary round-trip.  Throw std::runtime_error on I/O or format errors.
+void save_trace(const Trace& t, const std::string& path);
+Trace load_trace(const std::string& path);
+void write_trace(const Trace& t, std::ostream& os);
+Trace read_trace(std::istream& is);
+
+// CSV import/export.
+void save_trace_csv(const Trace& t, const std::string& path);
+Trace load_trace_csv(const std::string& path);
+std::optional<Packet> parse_csv_line(const std::string& line);
+
+}  // namespace newton

@@ -1,0 +1,27 @@
+#include "trace/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace newton {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += std::pow(static_cast<double>(k + 1), -alpha);
+    cdf_[k] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+std::size_t ZipfSampler::sample(std::mt19937& rng) const {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const double x = u(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace newton

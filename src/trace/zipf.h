@@ -1,0 +1,26 @@
+// Bounded Zipf sampler used for flow-size and popularity distributions.
+// Internet flow sizes are heavy-tailed; CAIDA-style backbone traces are well
+// approximated by Zipf with exponent ~1.0-1.2.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace newton {
+
+class ZipfSampler {
+ public:
+  // Ranks 1..n with P(rank=k) proportional to k^-alpha.
+  ZipfSampler(std::size_t n, double alpha);
+
+  // Returns a rank in [0, n).
+  std::size_t sample(std::mt19937& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace newton

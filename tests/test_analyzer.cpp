@@ -1,0 +1,238 @@
+// Ground truth evaluator, accuracy metrics, analyzer joins.
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/ground_truth.h"
+#include "analyzer/metrics.h"
+#include "core/queries.h"
+#include "trace/attacks.h"
+
+namespace newton {
+namespace {
+
+KeyArray dip_key(uint32_t ip) {
+  KeyArray k{};
+  k[index(Field::DstIp)] = ip;
+  return k;
+}
+
+TEST(GroundTruth, CountsPerWindow) {
+  QueryParams p;
+  p.q1_syn_th = 3;
+  const Query q = make_q1(p);
+  Trace t;
+  // 3 SYNs to dip=9 in window 0 (threshold), 2 in window 1 (below).
+  for (int i = 0; i < 3; ++i)
+    t.packets.push_back(
+        make_packet(i, 9, 1, 80, kProtoTcp, kTcpSyn, 64, 1000ull * i));
+  for (int i = 0; i < 2; ++i)
+    t.packets.push_back(make_packet(i, 9, 1, 80, kProtoTcp, kTcpSyn, 64,
+                                    100'000'000ull + 1000ull * i));
+  const QueryTruth truth = exact_truth(q, t);
+  EXPECT_TRUE(truth.branches[0].passing.at(0).contains(dip_key(9)));
+  EXPECT_FALSE(truth.branches[0].passing.contains(1));
+  EXPECT_TRUE(truth.branches[0].universe.at(1).contains(dip_key(9)));
+}
+
+TEST(GroundTruth, DistinctSuppressesDuplicates) {
+  QueryParams p;
+  p.q3_fanout_th = 2;
+  const Query q = make_q3(p);
+  Trace t;
+  // sip=7 contacts dips {1, 1, 1, 2}: only 2 distinct pairs.
+  for (uint32_t d : {1u, 1u, 1u, 2u})
+    t.packets.push_back(make_packet(7, d, 1, 80, kProtoTcp, 0, 64, 0));
+  const QueryTruth truth = exact_truth(q, t);
+  KeyArray k{};
+  k[index(Field::SrcIp)] = 7;
+  EXPECT_TRUE(truth.branches[0].passing.at(0).contains(k));
+  // With threshold 3 it must NOT pass.
+  p.q3_fanout_th = 3;
+  const QueryTruth truth2 = exact_truth(make_q3(p), t);
+  EXPECT_FALSE(truth2.branches[0].passing.contains(0));
+}
+
+TEST(GroundTruth, ByteSums) {
+  QueryParams p;
+  p.q8_conn_th = 1;
+  p.q8_bytes_th = 1000;
+  const Query q = make_q8(p);
+  Trace t;
+  for (int i = 0; i < 3; ++i)
+    t.packets.push_back(
+        make_packet(5, 6, 100, 80, kProtoTcp, kTcpAck, 400, 1000ull * i));
+  const QueryTruth truth = exact_truth(q, t);
+  // 1200 bytes >= 1000: the byte branch passes for dip=6.
+  EXPECT_TRUE(truth.branches[1].passing.at(0).contains(dip_key(6)));
+}
+
+TEST(Metrics, ScoreCountsConfusion) {
+  KeySet truth{dip_key(1), dip_key(2)};
+  KeySet detected{dip_key(2), dip_key(3)};
+  KeySet universe{dip_key(1), dip_key(2), dip_key(3), dip_key(4)};
+  const Accuracy a = score(detected, truth, universe);
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.fp, 1u);
+  EXPECT_EQ(a.fn, 1u);
+  EXPECT_EQ(a.tn, 1u);
+  EXPECT_DOUBLE_EQ(a.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(a.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(a.fpr(), 0.5);
+  EXPECT_NEAR(a.f1(), 0.5, 1e-12);
+}
+
+TEST(Metrics, EdgeCases) {
+  const Accuracy empty = score({}, {}, {});
+  EXPECT_DOUBLE_EQ(empty.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.fpr(), 0.0);
+}
+
+TEST(Analyzer, RoutesReportsByQid) {
+  Analyzer an;
+  an.register_qid(/*switch=*/1, /*qid=*/5, "qa", 0);
+  an.register_qid_any(/*qid=*/9, "qb", 1);
+
+  ReportRecord r;
+  r.switch_id = 1;
+  r.qid = 5;
+  r.oper_keys = dip_key(42);
+  an.report(r);
+
+  ReportRecord r2;
+  r2.switch_id = 77;  // any switch
+  r2.qid = 9;
+  r2.oper_keys = dip_key(43);
+  an.report(r2);
+
+  ReportRecord r3;  // unregistered
+  r3.switch_id = 2;
+  r3.qid = 200;
+  an.report(r3);
+
+  EXPECT_EQ(an.total_reports(), 3u);
+  EXPECT_EQ(an.reports_for("qa"), 1u);
+  EXPECT_EQ(an.reports_for("qb"), 1u);
+  EXPECT_TRUE(an.detected("qa", 0).contains(dip_key(42)));
+  EXPECT_TRUE(an.detected("qb", 1).contains(dip_key(43)));
+  EXPECT_TRUE(an.detected("qc", 0).empty());
+}
+
+TEST(Analyzer, WindowFiltering) {
+  Analyzer an;
+  an.register_qid_any(1, "q", 0);
+  ReportRecord r;
+  r.qid = 1;
+  r.oper_keys = dip_key(1);
+  r.ts_ns = 50'000'000;  // window 0 @100ms
+  an.report(r);
+  r.oper_keys = dip_key(2);
+  r.ts_ns = 150'000'000;  // window 1
+  an.report(r);
+  EXPECT_TRUE(an.detected_in_window("q", 0, 0, 100'000'000).contains(dip_key(1)));
+  EXPECT_FALSE(an.detected_in_window("q", 0, 0, 100'000'000).contains(dip_key(2)));
+  EXPECT_TRUE(an.detected_in_window("q", 0, 1, 100'000'000).contains(dip_key(2)));
+}
+
+TEST(Analyzer, SynFloodJoinSubtractsAcked) {
+  Analyzer an;
+  an.register_qid_any(1, "q6_syn_flood", 0);
+  an.register_qid_any(2, "q6_syn_flood", 1);
+  an.register_qid_any(3, "q6_syn_flood", 2);
+  ReportRecord r;
+  r.qid = 1;
+  r.oper_keys = dip_key(10);  // SYN-heavy
+  an.report(r);
+  r.oper_keys = dip_key(11);  // SYN-heavy but also ACK-heavy
+  an.report(r);
+  r.qid = 3;
+  r.oper_keys = dip_key(11);
+  an.report(r);
+  const KeySet victims = an.join_syn_flood();
+  EXPECT_TRUE(victims.contains(dip_key(10)));
+  EXPECT_FALSE(victims.contains(dip_key(11)));
+}
+
+TEST(Analyzer, DnsJoinComparesAcrossKeyFields) {
+  Analyzer an;
+  an.register_qid_any(1, "q9_dns_no_tcp", 0);
+  an.register_qid_any(2, "q9_dns_no_tcp", 1);
+  // host 5 received DNS; host 6 received DNS and then opened TCP.
+  ReportRecord dns;
+  dns.qid = 1;
+  dns.oper_keys[index(Field::DstIp)] = 5;
+  dns.oper_keys[index(Field::SrcIp)] = 99;  // resolver
+  an.report(dns);
+  dns.oper_keys[index(Field::DstIp)] = 6;
+  an.report(dns);
+  ReportRecord tcp;
+  tcp.qid = 2;
+  tcp.oper_keys[index(Field::SrcIp)] = 6;
+  tcp.oper_keys[index(Field::DstIp)] = 123;
+  an.report(tcp);
+  const KeySet suspicious = an.join_dns_no_tcp();
+  EXPECT_TRUE(suspicious.contains(dip_key(5)));
+  EXPECT_FALSE(suspicious.contains(dip_key(6)));
+}
+
+TEST(Analyzer, StatsSummarizeReports) {
+  Analyzer an;
+  an.register_qid_any(1, "q", 0);
+  ReportRecord r;
+  r.qid = 1;
+  r.oper_keys = dip_key(5);
+  r.ts_ns = 10'000'000;
+  an.report(r);
+  an.report(r);  // same key, same window
+  r.oper_keys = dip_key(6);
+  r.ts_ns = 150'000'000;  // next window
+  an.report(r);
+
+  const auto st = an.stats("q", 0, 100'000'000);
+  EXPECT_EQ(st.reports, 3u);
+  EXPECT_EQ(st.unique_keys, 2u);
+  EXPECT_EQ(st.windows, 2u);
+  EXPECT_EQ(st.first_ts_ns, 10'000'000u);
+  EXPECT_EQ(st.last_ts_ns, 150'000'000u);
+
+  const auto empty = an.stats("nope", 0, 100'000'000);
+  EXPECT_EQ(empty.reports, 0u);
+}
+
+TEST(Analyzer, TopKeysOrderByVolume) {
+  Analyzer an;
+  an.register_qid_any(1, "q", 0);
+  ReportRecord r;
+  r.qid = 1;
+  for (int i = 0; i < 5; ++i) {
+    r.oper_keys = dip_key(1);
+    an.report(r);
+  }
+  for (int i = 0; i < 2; ++i) {
+    r.oper_keys = dip_key(2);
+    an.report(r);
+  }
+  r.oper_keys = dip_key(3);
+  an.report(r);
+
+  const auto top = an.top_keys("q", 0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, dip_key(1));
+  EXPECT_EQ(top[0].second, 5u);
+  EXPECT_EQ(top[1].first, dip_key(2));
+  EXPECT_TRUE(an.top_keys("nope", 0, 3).empty());
+}
+
+TEST(Analyzer, ClearResets) {
+  Analyzer an;
+  an.register_qid_any(1, "q", 0);
+  ReportRecord r;
+  r.qid = 1;
+  an.report(r);
+  an.clear();
+  EXPECT_EQ(an.total_reports(), 0u);
+  EXPECT_TRUE(an.detected("q").empty());
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,134 @@
+// Controller: query lifecycle, multiplexing metrics (Fig. 16 regimes),
+// register-range allocation behaviour.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/queries.h"
+#include "core/range_alloc.h"
+
+namespace newton {
+namespace {
+
+TEST(RangeAlloc, FirstFitAndFree) {
+  RangeAllocator a(100);
+  const auto o1 = a.allocate(40);
+  const auto o2 = a.allocate(40);
+  ASSERT_TRUE(o1 && o2);
+  EXPECT_EQ(*o1, 0u);
+  EXPECT_EQ(*o2, 40u);
+  EXPECT_FALSE(a.allocate(40).has_value());  // only 20 left
+  EXPECT_TRUE(a.free(*o1));
+  const auto o3 = a.allocate(30);  // fits the freed hole
+  ASSERT_TRUE(o3);
+  EXPECT_EQ(*o3, 0u);
+  EXPECT_EQ(a.used(), 70u);
+}
+
+TEST(RangeAlloc, ReserveExact) {
+  RangeAllocator a(100);
+  EXPECT_TRUE(a.reserve(50, 20));
+  EXPECT_FALSE(a.reserve(60, 20));  // overlap
+  EXPECT_FALSE(a.reserve(40, 20));  // overlap from below
+  EXPECT_TRUE(a.reserve(70, 30));
+  EXPECT_FALSE(a.reserve(90, 20));  // out of capacity
+  const auto o = a.allocate(50);
+  ASSERT_TRUE(o);
+  EXPECT_EQ(*o, 0u);
+}
+
+TEST(RangeAlloc, ZeroAndOversize) {
+  RangeAllocator a(10);
+  EXPECT_FALSE(a.allocate(0).has_value());
+  EXPECT_FALSE(a.allocate(11).has_value());
+  EXPECT_FALSE(a.reserve(0, 0));
+  EXPECT_FALSE(a.free(5));
+}
+
+TEST(Controller, InstallRemoveLifecycle) {
+  NewtonSwitch sw(1, 12, nullptr);
+  Controller ctl(sw);
+  const auto st = ctl.install(make_q1());
+  EXPECT_GT(st.rule_ops, 0u);
+  EXPECT_TRUE(ctl.installed("q1_new_tcp"));
+  EXPECT_THROW(ctl.install(make_q1()), std::invalid_argument);  // duplicate
+  const auto rm = ctl.remove("q1_new_tcp");
+  EXPECT_GT(rm.latency_ms, 0.0);
+  EXPECT_FALSE(ctl.installed("q1_new_tcp"));
+  EXPECT_THROW(ctl.remove("nope"), std::invalid_argument);
+}
+
+TEST(Controller, OperationsCompleteWithinPaperEnvelope) {
+  // Fig. 11: every query installs/removes in <= ~20 ms.  (24 stages so even
+  // Q8's serialized sub-queries fit without CQE; latency is the subject.)
+  NewtonSwitch sw(1, 24, nullptr, 1 << 16);
+  Controller ctl(sw);
+  QueryParams p;
+  p.sketch_width = 512;
+  for (const Query& q : all_queries(p)) {
+    const auto ins = ctl.install(q);
+    EXPECT_LT(ins.latency_ms, 30.0) << q.name;
+    const auto rm = ctl.remove(q.name);
+    EXPECT_LT(rm.latency_ms, 30.0) << q.name;
+  }
+}
+
+// Fig. 16 regimes: P-Newton (disjoint traffic) multiplexes module slots;
+// S-Newton (same traffic) chains and grows linearly.
+TEST(Controller, PNewtonSlotsStayConstant) {
+  NewtonSwitch sw(1, 12, nullptr, 1 << 18);
+  Controller ctl(sw);
+  QueryParams p;
+  p.sketch_width = 128;
+  std::size_t slots_after_first = 0;
+  for (int i = 0; i < 8; ++i) {
+    // Same Q4 logic but watching disjoint destination ports.
+    Query q = QueryBuilder("scan" + std::to_string(i))
+                  .sketch(p.sketch_depth, p.sketch_width)
+                  .filter(Predicate{}
+                              .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                              .where(Field::DstPort, Cmp::Eq,
+                                     static_cast<uint32_t>(1000 + i)))
+                  .map({Field::SrcIp, Field::DstPort})
+                  .distinct({Field::SrcIp, Field::DstPort})
+                  .map({Field::SrcIp})
+                  .reduce({Field::SrcIp}, Agg::Sum)
+                  .when(Cmp::Ge, 50)
+                  .build();
+    ctl.install(q);
+    if (i == 0) slots_after_first = sw.slots_used();
+  }
+  EXPECT_EQ(sw.slots_used(), slots_after_first);  // rules multiplex slots
+}
+
+TEST(Controller, SNewtonStagesGrowLinearly) {
+  NewtonSwitch sw(1, 64, nullptr, 1 << 18);  // deep virtual pipeline
+  Controller ctl(sw);
+  QueryParams p;
+  p.sketch_width = 128;
+  std::vector<std::size_t> stage_marks;
+  for (int i = 0; i < 3; ++i) {
+    Query q = make_q1(p);
+    q.name += std::to_string(i);  // same traffic class every time
+    ctl.install(q);
+    stage_marks.push_back(sw.next_free_stage());
+  }
+  EXPECT_GT(stage_marks[1], stage_marks[0]);
+  EXPECT_GT(stage_marks[2], stage_marks[1]);
+  // Roughly linear growth.
+  EXPECT_NEAR(static_cast<double>(stage_marks[2] - stage_marks[1]),
+              static_cast<double>(stage_marks[1] - stage_marks[0]), 1.0);
+}
+
+TEST(Controller, UpdatePreservesName) {
+  NewtonSwitch sw(1, 12, nullptr);
+  Controller ctl(sw);
+  ctl.install(make_q1());
+  QueryParams p;
+  p.q1_syn_th = 5;
+  ctl.update("q1_new_tcp", make_q1(p));
+  EXPECT_TRUE(ctl.installed("q1_new_tcp"));
+  EXPECT_EQ(ctl.num_installed(), 1u);
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,102 @@
+// Analytical sketch estimates: formula sanity, monotonicity, recommendation
+// round-trips, and empirical validation against the real structures.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "sketch/bloom.h"
+#include "sketch/count_min.h"
+#include "sketch/estimator.h"
+#include "trace/zipf.h"
+
+namespace newton {
+namespace {
+
+TEST(Estimator, CmErrorShrinksWithGeometry) {
+  EXPECT_LT(cm_error(4096, 2).epsilon, cm_error(256, 2).epsilon);
+  EXPECT_LT(cm_error(256, 4).delta, cm_error(256, 2).delta);
+  EXPECT_NEAR(cm_error(2718, 1).epsilon, 0.001, 1e-4);  // e/w
+}
+
+TEST(Estimator, ExpectedOvercountScaling) {
+  // Linear in mass, inverse in width and depth.
+  EXPECT_DOUBLE_EQ(cm_expected_overcount(1024, 2, 20'000),
+                   2 * cm_expected_overcount(1024, 2, 10'000));
+  EXPECT_DOUBLE_EQ(cm_expected_overcount(1024, 2, 20'000),
+                   cm_expected_overcount(2048, 2, 20'000) * 2);
+  EXPECT_DOUBLE_EQ(cm_expected_overcount(1024, 2, 20'000),
+                   cm_expected_overcount(1024, 4, 20'000) * 2);
+}
+
+TEST(Estimator, RecommendCmWidthRoundTrips) {
+  const std::size_t w = recommend_cm_width(50'000, 5.0, 2);
+  EXPECT_LE(cm_expected_overcount(w, 2, 50'000), 5.0);
+  if (w > 64) {
+    EXPECT_GT(cm_expected_overcount(w / 2, 2, 50'000), 5.0);
+  }
+  // Degenerate inputs hit the bounds.
+  EXPECT_EQ(recommend_cm_width(1e12, 0.001, 1, 1u << 16), 1u << 16);
+  EXPECT_EQ(recommend_cm_width(10, 1e9, 2), 64u);
+}
+
+TEST(Estimator, BloomFprMatchesClassFormula) {
+  BloomFilter bf(3, 1 << 14);
+  EXPECT_NEAR(bf_fpr(1 << 14, 3, 2'000), bf.expected_fpr(2'000), 1e-12);
+}
+
+TEST(Estimator, RecommendBfBitsRoundTrips) {
+  const std::size_t m = recommend_bf_bits(5'000, 0.01, 2);
+  EXPECT_LE(bf_fpr(m, 2, 5'000), 0.01);
+  if (m > 64) {
+    EXPECT_GT(bf_fpr(m / 2, 2, 5'000), 0.01);
+  }
+}
+
+TEST(Estimator, FalsePromotionMonotonic) {
+  // Larger margins, wider sketches and deeper sketches all reduce the
+  // false-promotion probability.
+  const double base = cm_false_promotion_probability(256, 2, 10'000, 20);
+  EXPECT_LT(cm_false_promotion_probability(256, 2, 10'000, 40), base);
+  EXPECT_LT(cm_false_promotion_probability(1024, 2, 10'000, 20), base);
+  EXPECT_LT(cm_false_promotion_probability(256, 4, 10'000, 20), base);
+  EXPECT_DOUBLE_EQ(cm_false_promotion_probability(256, 2, 10'000, 0), 1.0);
+}
+
+TEST(Estimator, EmpiricalCmOvercountWithinPredictedScale) {
+  // Zipf stream into a starved sketch: the measured mean overcount should
+  // be on the order of (and not wildly above) the analytic estimate.
+  std::mt19937 rng(7);
+  ZipfSampler zipf(5'000, 1.1);
+  const std::size_t width = 512, depth = 2;
+  CountMin cm(depth, width);
+  std::map<uint32_t, uint64_t> truth;
+  const int kPackets = 60'000;
+  for (int i = 0; i < kPackets; ++i) {
+    const uint32_t key = static_cast<uint32_t>(zipf.sample(rng));
+    cm.update(key);
+    ++truth[key];
+  }
+  double total_err = 0;
+  for (const auto& [k, v] : truth)
+    total_err += static_cast<double>(cm.estimate(k) - v);
+  const double mean_err = total_err / static_cast<double>(truth.size());
+  const double predicted = cm_expected_overcount(width, depth, kPackets);
+  EXPECT_LT(mean_err, predicted * 3.0);
+  EXPECT_GT(mean_err, predicted * 0.05);
+}
+
+TEST(Estimator, EmpiricalBfFprNearPrediction) {
+  BloomFilter bf(2, 1 << 13);
+  const std::size_t n = 2'000;
+  for (uint32_t k = 0; k < n; ++k) bf.insert(k * 2654435761u);
+  std::size_t fp = 0;
+  const std::size_t probes = 30'000;
+  for (uint32_t k = 0; k < probes; ++k) fp += bf.contains(0x8000'0000u + k);
+  const double measured = static_cast<double>(fp) / probes;
+  const double predicted = bf_fpr(1 << 13, 2, n);
+  EXPECT_NEAR(measured, predicted, std::max(0.01, predicted));
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,84 @@
+// L3 forwarding substrate: LPM semantics and the Sonata reload model.
+#include <gtest/gtest.h>
+
+#include "dataplane/forwarding.h"
+
+namespace newton {
+namespace {
+
+TEST(Lpm, LongestPrefixWins) {
+  LpmTable t;
+  t.insert(ipv4(10, 0, 0, 0), 8, 1);
+  t.insert(ipv4(10, 1, 0, 0), 16, 2);
+  t.insert(ipv4(10, 1, 2, 0), 24, 3);
+  EXPECT_EQ(t.lookup(ipv4(10, 9, 9, 9)), 1u);
+  EXPECT_EQ(t.lookup(ipv4(10, 1, 9, 9)), 2u);
+  EXPECT_EQ(t.lookup(ipv4(10, 1, 2, 9)), 3u);
+  EXPECT_FALSE(t.lookup(ipv4(11, 0, 0, 1)).has_value());
+}
+
+TEST(Lpm, DefaultRouteAndHostRoute) {
+  LpmTable t;
+  t.insert(0, 0, 99);                    // default
+  t.insert(ipv4(10, 0, 0, 7), 32, 7);    // host route
+  EXPECT_EQ(t.lookup(ipv4(1, 2, 3, 4)), 99u);
+  EXPECT_EQ(t.lookup(ipv4(10, 0, 0, 7)), 7u);
+}
+
+TEST(Lpm, InsertMasksHostBits) {
+  LpmTable t;
+  t.insert(ipv4(10, 1, 2, 200), 24, 5);  // host bits ignored
+  EXPECT_EQ(t.lookup(ipv4(10, 1, 2, 1)), 5u);
+  EXPECT_TRUE(t.remove(ipv4(10, 1, 2, 3), 24));
+  EXPECT_FALSE(t.lookup(ipv4(10, 1, 2, 1)).has_value());
+  EXPECT_FALSE(t.remove(ipv4(10, 1, 2, 3), 24));
+  EXPECT_THROW(t.insert(0, 33, 0), std::invalid_argument);
+}
+
+TEST(Reload, DarkDuringRebootAndRestore) {
+  ReloadableForwarder fw;
+  for (int i = 0; i < 100; ++i)
+    fw.routes().insert(ipv4(10, 0, static_cast<uint8_t>(i), 0), 24,
+                       static_cast<uint32_t>(i));
+  const Packet p = make_packet(1, ipv4(10, 0, 5, 5), 3, 4, kProtoTcp);
+
+  EXPECT_TRUE(fw.forward(p, 0).has_value());
+
+  ReloadModelParams params;
+  params.reboot_seconds = 1.0;
+  params.per_entry_restore_ms = 1.0;
+  fw.reload(1'000'000'000, params);  // reload at t=1s
+
+  // 1s reboot + 100 x 1ms restore = dark until t=2.1s.
+  EXPECT_FALSE(fw.forward(p, 1'500'000'000).has_value());
+  EXPECT_FALSE(fw.forward(p, 2'050'000'000).has_value());
+  EXPECT_TRUE(fw.forward(p, 2'100'000'001).has_value());
+  EXPECT_EQ(fw.reload_end_ns(), 2'100'000'000u);
+  EXPECT_EQ(fw.packets_dropped(), 2u);
+}
+
+TEST(Reload, OutageScalesWithEntries) {
+  auto outage_ns = [](std::size_t entries) {
+    ReloadableForwarder fw;
+    for (std::size_t i = 0; i < entries; ++i)
+      fw.routes().insert(static_cast<uint32_t>(i) << 8, 24,
+                         static_cast<uint32_t>(i));
+    fw.reload(0);
+    return fw.reload_end_ns();
+  };
+  const uint64_t small = outage_ns(1'000);
+  const uint64_t big = outage_ns(60'000);
+  EXPECT_NEAR(static_cast<double>(small) / 1e9, 7.95, 0.01);
+  EXPECT_NEAR(static_cast<double>(big) / 1e9, 34.5, 0.05);
+}
+
+TEST(Reload, NoRouteCountsAsDrop) {
+  ReloadableForwarder fw;
+  const Packet p = make_packet(1, ipv4(9, 9, 9, 9), 3, 4, kProtoTcp);
+  EXPECT_FALSE(fw.forward(p, 0).has_value());
+  EXPECT_EQ(fw.packets_dropped(), 1u);
+  EXPECT_EQ(fw.packets_forwarded(), 0u);
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,150 @@
+// Property tests over randomly generated queries: every syntactically valid
+// chain must (1) compile to a hazard-free schedule at every optimization
+// level, (2) produce identical reports at every optimization level, and
+// (3) agree with the exact reference semantics when sketches have ample
+// width (no false negatives; no spurious keys).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analyzer/ground_truth.h"
+#include "analyzer/metrics.h"
+#include "core/compose.h"
+#include "core/newton_switch.h"
+#include "trace/attacks.h"
+
+namespace newton {
+namespace {
+
+// Key fields a random query may select (kept to fields with interesting
+// diversity in the trace).
+const std::vector<Field> kKeyFields{Field::SrcIp, Field::DstIp,
+                                    Field::SrcPort, Field::DstPort,
+                                    Field::PktLen};
+
+std::vector<KeySel> random_keys(std::mt19937& rng) {
+  std::vector<KeySel> keys;
+  const std::size_t n = 1 + rng() % 2;
+  std::vector<Field> pool = kKeyFields;
+  std::shuffle(pool.begin(), pool.end(), rng);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(KeySel(pool[i]));
+  return keys;
+}
+
+Query random_query(uint32_t seed) {
+  std::mt19937 rng(seed);
+  QueryBuilder b("fuzz" + std::to_string(seed));
+  b.sketch(1 + rng() % 3, 1 << 15);
+
+  // Optional front filter (sometimes init-expressible, sometimes not).
+  switch (rng() % 4) {
+    case 0:
+      b.filter(Predicate{}.where(Field::Proto, Cmp::Eq, kProtoTcp));
+      break;
+    case 1:
+      b.filter(Predicate{}
+                   .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                   .where(Field::TcpFlags, Cmp::Eq, kTcpSyn));
+      break;
+    case 2:
+      b.filter(Predicate{}.where(Field::PktLen, Cmp::Le, 600));  // not init
+      break;
+    default:
+      break;  // no filter
+  }
+
+  b.map(random_keys(rng));
+  if (rng() % 2) b.distinct(random_keys(rng));
+  if (rng() % 3) {
+    // Occasionally re-map before reducing.
+    if (rng() % 2) b.map(random_keys(rng));
+    b.reduce(random_keys(rng), Agg::Sum);
+    b.when(Cmp::Ge, 5 + rng() % 60);
+  }
+  return b.build();
+}
+
+Trace fuzz_trace() {
+  TraceProfile prof = caida_like(555);
+  prof.num_flows = 600;
+  Trace t = generate_trace(prof);
+  std::mt19937 rng(555);
+  inject_syn_flood(t, ipv4(172, 16, 3, 3), 90, 1, 10'000'000, rng);
+  inject_udp_flood(t, ipv4(172, 16, 3, 4), 60, 2, 30'000'000, rng);
+  inject_port_scan(t, ipv4(198, 18, 3, 5), ipv4(172, 16, 3, 5), 70,
+                   50'000'000, rng);
+  t.sort_by_time();
+  return t;
+}
+
+const Trace& shared_trace() {
+  static const Trace t = fuzz_trace();
+  return t;
+}
+
+CompileOptions level(int o) {
+  CompileOptions opts;
+  opts.opt1 = o >= 1;
+  opts.opt2 = o >= 2;
+  opts.opt3 = o >= 3;
+  return opts;
+}
+
+KeySet run_on_switch(const Query& q, const CompileOptions& opts,
+                     const Trace& t) {
+  ReportBuffer sink;
+  NewtonSwitch sw(1, 128, &sink, 1 << 17);
+  sw.install(compile_query(q, opts));
+  for (const Packet& p : t.packets) sw.process(p);
+  KeySet out;
+  for (const ReportRecord& r : sink.records()) out.insert(r.oper_keys);
+  return out;
+}
+
+class FuzzQuery : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzQuery, SchedulesAreHazardFreeAtEveryLevel) {
+  const Query q = random_query(GetParam());
+  for (int o = 0; o <= 3; ++o) {
+    CompileOptions opts = level(o);
+    opts.max_stages = 512;
+    const CompiledQuery cq = compile_query(q, opts);
+    EXPECT_EQ(validate_schedule(cq), "") << q.name << " level " << o;
+    EXPECT_GT(cq.num_modules(), 0u);
+  }
+}
+
+TEST_P(FuzzQuery, OptimizationLevelsAgreeOnReports) {
+  const Query q = random_query(GetParam());
+  const Trace& t = shared_trace();
+  const KeySet naive = run_on_switch(q, level(0), t);
+  for (int o = 1; o <= 3; ++o)
+    EXPECT_EQ(run_on_switch(q, level(o), t), naive)
+        << q.name << " level " << o;
+}
+
+TEST_P(FuzzQuery, NoFalseNegativesVsExactReference) {
+  const Query q = random_query(GetParam());
+  const Trace& t = shared_trace();
+  const KeySet detected = run_on_switch(q, level(3), t);
+  const QueryTruth truth = exact_truth(q, t);
+  const KeySet expect = truth.passing_union(0);
+  const Accuracy acc = score(detected, expect, expect);
+  // Distinct-terminal queries have the Bloom filter's one-sided error:
+  // a false-positive membership test suppresses a genuine first occurrence
+  // (~(n/m)^k of keys).  Threshold queries are FN-free at ample width.
+  const bool ends_with_distinct =
+      q.branches[0].primitives.back().kind == PrimitiveKind::Distinct;
+  if (ends_with_distinct)
+    EXPECT_LE(acc.fn, std::max<std::size_t>(4, expect.size() / 100))
+        << q.name;
+  else
+    EXPECT_EQ(acc.fn, 0u) << q.name;
+  // With 32K-wide sketches on this small trace, collisions are negligible.
+  EXPECT_GE(acc.precision(), 0.99) << q.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzQuery, ::testing::Range(1u, 26u));
+
+}  // namespace
+}  // namespace newton

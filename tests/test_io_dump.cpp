@@ -1,0 +1,134 @@
+// Trace persistence (binary + CSV) and the human-readable dumps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/dump.h"
+#include "core/queries.h"
+#include "trace/attacks.h"
+#include "trace/trace_io.h"
+
+namespace newton {
+namespace {
+
+Trace sample_trace() {
+  TraceProfile p = caida_like(91);
+  p.num_flows = 200;
+  Trace t = generate_trace(p);
+  t.name = "sample";
+  return t;
+}
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_trace(t, ss);
+  const Trace back = read_trace(ss);
+  ASSERT_EQ(back.size(), t.size());
+  EXPECT_EQ(back.name, t.name);
+  for (std::size_t i = 0; i < t.size(); i += 13) {
+    EXPECT_EQ(back.packets[i].ts_ns, t.packets[i].ts_ns);
+    EXPECT_EQ(back.packets[i].wire_len, t.packets[i].wire_len);
+    EXPECT_EQ(back.packets[i].fields, t.packets[i].fields);
+  }
+}
+
+TEST(TraceIo, BinaryFileRoundTrip) {
+  const Trace t = sample_trace();
+  const std::string path = tmp_path("newton_trace_test.ntrc");
+  save_trace(t, path);
+  const Trace back = load_trace(path);
+  EXPECT_EQ(back.size(), t.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a trace at all";
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+
+  // Truncated stream after a valid header.
+  std::stringstream ss2;
+  const Trace t = sample_trace();
+  write_trace(t, ss2);
+  std::string bytes = ss2.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream ss3(bytes);
+  EXPECT_THROW(read_trace(ss3), std::runtime_error);
+
+  EXPECT_THROW(load_trace("/nonexistent/dir/x.ntrc"), std::runtime_error);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  Trace t;
+  t.packets.push_back(make_packet(ipv4(10, 0, 0, 1), ipv4(172, 16, 0, 2),
+                                  1234, 443, kProtoTcp, kTcpSyn, 64, 1000));
+  t.packets.push_back(
+      make_packet(ipv4(10, 0, 0, 3), ipv4(8, 8, 8, 8), 5353, 53, kProtoUdp,
+                  0, 80, 2000));
+  const std::string path = tmp_path("newton_trace_test.csv");
+  save_trace_csv(t, path);
+  const Trace back = load_trace_csv(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.packets[0].sip(), ipv4(10, 0, 0, 1));
+  EXPECT_EQ(back.packets[0].tcp_flags(), kTcpSyn);
+  EXPECT_EQ(back.packets[1].dport(), 53u);
+  EXPECT_EQ(back.packets[1].ts_ns, 2000u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvParserEdgeCases) {
+  EXPECT_FALSE(parse_csv_line("").has_value());
+  EXPECT_FALSE(parse_csv_line("# comment").has_value());
+  EXPECT_FALSE(parse_csv_line("1,2,3").has_value());  // too few columns
+  EXPECT_FALSE(parse_csv_line("x,10.0.0.1,10.0.0.2,1,2,6,0,64").has_value());
+  EXPECT_FALSE(
+      parse_csv_line("1,10.0.0.999,10.0.0.2,1,2,6,0,64").has_value());
+  // Raw-integer IPs are accepted.
+  const auto p = parse_csv_line("5,167772161,2886729730,1,2,6,2,64");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->sip(), 167772161u);  // 10.0.0.1
+  // Trailing comment on a data line.
+  EXPECT_TRUE(
+      parse_csv_line("1,10.0.0.1,10.0.0.2,1,2,6,0,64 # syn").has_value());
+}
+
+TEST(Dump, QueryShowsPrimitiveChain) {
+  const std::string d = dump_query(make_q4());
+  EXPECT_NE(d.find("q4_port_scan"), std::string::npos);
+  EXPECT_NE(d.find("filter(proto==6 && tcp_flags==2)"), std::string::npos);
+  EXPECT_NE(d.find("distinct(sip,dport)"), std::string::npos);
+  EXPECT_NE(d.find("when(result>=50)"), std::string::npos);
+}
+
+TEST(Dump, CompiledShowsStageGrid) {
+  const CompiledQuery cq = compile_query(make_q1());
+  const std::string d = dump_compiled(cq);
+  EXPECT_NE(d.find("stage 0:"), std::string::npos);
+  EXPECT_NE(d.find("K[set"), std::string::npos);
+  EXPECT_NE(d.find("module rules"), std::string::npos);
+}
+
+TEST(Dump, SwitchShowsOccupancy) {
+  NewtonSwitch sw(3, 12, nullptr);
+  sw.install(compile_query(make_q1()));
+  const std::string d = dump_switch(sw);
+  EXPECT_NE(d.find("switch 3"), std::string::npos);
+  EXPECT_NE(d.find("stage 0"), std::string::npos);
+}
+
+TEST(Dump, MultiBranchQuery) {
+  const std::string d = dump_query(make_q6());
+  EXPECT_NE(d.find("syn"), std::string::npos);
+  EXPECT_NE(d.find("synack"), std::string::npos);
+  EXPECT_NE(d.find("ack"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace newton

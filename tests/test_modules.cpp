@@ -1,0 +1,268 @@
+// The four reconfigurable modules + newton_init: rule-configured semantics.
+#include <gtest/gtest.h>
+
+#include "core/modules.h"
+#include "dataplane/resources.h"
+
+namespace newton {
+namespace {
+
+Phv phv_for(const Packet& p, uint16_t qid) {
+  Phv phv;
+  phv.pkt = p;
+  phv.activate_query(qid);
+  return phv;
+}
+
+TEST(KModule, MasksSelectedFields) {
+  KModule k("k");
+  KConfig cfg;
+  cfg.set = 0;
+  cfg.masks[index(Field::DstIp)] = 0xffffff00;  // /24
+  cfg.masks[index(Field::DstPort)] = 0xffff;
+  k.table().insert(5, cfg);
+
+  Phv phv = phv_for(make_packet(ipv4(1, 2, 3, 4), ipv4(9, 9, 9, 9), 10, 80,
+                                kProtoTcp),
+                    5);
+  k.execute(phv);
+  EXPECT_EQ(phv.set(0).keys[index(Field::DstIp)], ipv4(9, 9, 9, 0));
+  EXPECT_EQ(phv.set(0).keys[index(Field::DstPort)], 80u);
+  EXPECT_EQ(phv.set(0).keys[index(Field::SrcIp)], 0u);  // concealed
+}
+
+TEST(KModule, InactiveOrUnmatchedQueriesUntouched) {
+  KModule k("k");
+  KConfig cfg;
+  cfg.masks[index(Field::DstIp)] = 0xffffffff;
+  k.table().insert(5, cfg);
+
+  Phv phv = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 6);  // other qid
+  k.execute(phv);
+  EXPECT_EQ(phv.set(0).keys[index(Field::DstIp)], 0u);
+
+  Phv phv2 = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 5);
+  phv2.stop_query(5);  // stopped: module must skip
+  k.execute(phv2);
+  EXPECT_EQ(phv2.set(0).keys[index(Field::DstIp)], 0u);
+}
+
+TEST(HModule, HashedRangeAndOffset) {
+  HModule h("h");
+  HConfig cfg;
+  cfg.algo = HashAlgo::Crc32c;
+  cfg.seed = 77;
+  cfg.width = 100;
+  cfg.offset = 1000;
+  h.table().insert(3, cfg);
+
+  Phv phv = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 3);
+  phv.set(0).keys[index(Field::DstIp)] = 42;
+  h.execute(phv);
+  EXPECT_GE(phv.set(0).hash_result, 1000u);
+  EXPECT_LT(phv.set(0).hash_result, 1100u);
+  // Deterministic.
+  const uint32_t first = phv.set(0).hash_result;
+  h.execute(phv);
+  EXPECT_EQ(phv.set(0).hash_result, first);
+}
+
+TEST(HModule, DirectModePassesField) {
+  HModule h("h");
+  HConfig cfg;
+  cfg.direct = true;
+  cfg.direct_field = Field::SrcPort;
+  cfg.width = 0;  // no modulus
+  h.table().insert(3, cfg);
+
+  Phv phv = phv_for(make_packet(1, 2, 53, 4, kProtoUdp), 3);
+  phv.set(0).keys[index(Field::SrcPort)] = 53;
+  h.execute(phv);
+  EXPECT_EQ(phv.set(0).hash_result, 53u);
+}
+
+TEST(SModule, AddAndOrSemantics) {
+  SModule s("s", 128);
+  SConfig add;
+  add.op = SaluOp::Add;
+  add.operand = 1;
+  s.table().insert(1, add);
+
+  Phv phv = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 1);
+  phv.set(0).hash_result = 7;
+  s.execute(phv);
+  EXPECT_EQ(phv.set(0).state_result, 1u);  // Add returns NEW value
+  s.execute(phv);
+  EXPECT_EQ(phv.set(0).state_result, 2u);
+
+  SConfig orc;
+  orc.op = SaluOp::Or;
+  orc.operand = 1;
+  SModule s2("s2", 128);
+  s2.table().insert(1, orc);
+  Phv phv2 = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 1);
+  phv2.set(0).hash_result = 9;
+  s2.execute(phv2);
+  EXPECT_EQ(phv2.set(0).state_result, 0u);  // Or returns OLD value
+  s2.execute(phv2);
+  EXPECT_EQ(phv2.set(0).state_result, 1u);
+}
+
+TEST(SModule, BypassCopiesHashToState) {
+  SModule s("s", 16);
+  SConfig cfg;
+  cfg.bypass = true;
+  s.table().insert(1, cfg);
+  Phv phv = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 1);
+  phv.set(0).hash_result = 4242;
+  s.execute(phv);
+  EXPECT_EQ(phv.set(0).state_result, 4242u);
+  EXPECT_EQ(s.registers().read(4242 % 16), 0u);  // registers untouched
+}
+
+TEST(SModule, PktLenOperand) {
+  SModule s("s", 16);
+  SConfig cfg;
+  cfg.op = SaluOp::Add;
+  cfg.operand_is_pkt_len = true;
+  s.table().insert(1, cfg);
+  Phv phv = phv_for(make_packet(1, 2, 3, 4, kProtoTcp, 0, /*len=*/500), 1);
+  phv.set(0).hash_result = 3;
+  s.execute(phv);
+  EXPECT_EQ(phv.set(0).state_result, 500u);
+}
+
+TEST(RModule, CombineMinAndRangeMatch) {
+  ReportBuffer sink;
+  RModule r("r", &sink, 9);
+  RConfig cfg;
+  cfg.combine = RCombine::Min;
+  cfg.match_lo = 0;
+  cfg.match_hi = 10;
+  cfg.on_match = RAction::Report;
+  cfg.on_miss = RAction::Stop;
+  r.table().insert(2, cfg);
+
+  Phv phv = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 2);
+  phv.global_result = 50;
+  phv.set(0).state_result = 7;  // min(50, 7) = 7: in range -> report
+  r.execute(phv);
+  EXPECT_EQ(phv.global_result, 7u);
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.records()[0].switch_id, 9u);
+  EXPECT_TRUE(phv.query_active(2));
+
+  phv.set(0).state_result = 100;  // min(7,100)=7 still in range
+  r.execute(phv);
+  EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(RModule, StopClearsActivity) {
+  RModule r("r", nullptr, 0);
+  RConfig cfg;
+  cfg.combine = RCombine::Set;
+  cfg.match_lo = 0;
+  cfg.match_hi = 0;
+  cfg.on_match = RAction::Continue;
+  cfg.on_miss = RAction::Stop;
+  r.table().insert(2, cfg);
+
+  Phv phv = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 2);
+  phv.set(0).state_result = 1;  // global=1, not in [0,0] -> stop
+  r.execute(phv);
+  EXPECT_FALSE(phv.query_active(2));
+}
+
+TEST(RModule, CombineVariants) {
+  RModule r("r", nullptr, 0);
+  auto run = [&](RCombine c, uint32_t global, uint32_t state) {
+    RConfig cfg;
+    cfg.combine = c;
+    r.table().insert(1, cfg);
+    Phv phv = phv_for(make_packet(1, 2, 3, 4, kProtoTcp), 1);
+    phv.global_result = global;
+    phv.set(0).state_result = state;
+    r.execute(phv);
+    return phv.global_result;
+  };
+  EXPECT_EQ(run(RCombine::Set, 9, 4), 4u);
+  EXPECT_EQ(run(RCombine::Min, 9, 4), 4u);
+  EXPECT_EQ(run(RCombine::Max, 9, 4), 9u);
+  EXPECT_EQ(run(RCombine::Add, 9, 4), 13u);
+  EXPECT_EQ(run(RCombine::Sub, 9, 4), 5u);
+  EXPECT_EQ(run(RCombine::None, 9, 4), 9u);
+}
+
+TEST(InitModule, DispatchesByTernary5TupleAndFlags) {
+  InitModule init;
+  // TCP SYN traffic -> qids {1, 2}; UDP -> qid 3 (ingress word wildcarded).
+  init.table().insert(
+      {MatchWord::wildcard(), MatchWord::wildcard(), MatchWord::wildcard(),
+       MatchWord::wildcard(), MatchWord::exact(kProtoTcp),
+       MatchWord::exact(kTcpSyn), MatchWord::wildcard()},
+      10, {{1, 2}});
+  init.table().insert(
+      {MatchWord::wildcard(), MatchWord::wildcard(), MatchWord::wildcard(),
+       MatchWord::wildcard(), MatchWord::exact(kProtoUdp),
+       MatchWord::wildcard(), MatchWord::wildcard()},
+      10, {{3}});
+
+  Phv syn;
+  syn.pkt = make_packet(1, 2, 3, 4, kProtoTcp, kTcpSyn);
+  init.execute(syn);
+  EXPECT_TRUE(syn.query_active(1));
+  EXPECT_TRUE(syn.query_active(2));
+  EXPECT_FALSE(syn.query_active(3));
+
+  Phv udp;
+  udp.pkt = make_packet(1, 2, 3, 4, kProtoUdp, 0);
+  init.execute(udp);
+  EXPECT_TRUE(udp.query_active(3));
+  EXPECT_FALSE(udp.query_active(1));
+
+  Phv other;
+  other.pkt = make_packet(1, 2, 3, 4, kProtoTcp, kTcpAck);
+  init.execute(other);
+  EXPECT_TRUE(other.active_list.empty());
+}
+
+TEST(InitModule, IngressWordGatesEdgeOnlyEntries) {
+  InitModule init;
+  init.table().insert(
+      {MatchWord::wildcard(), MatchWord::wildcard(), MatchWord::wildcard(),
+       MatchWord::wildcard(), MatchWord::wildcard(), MatchWord::wildcard(),
+       MatchWord::exact(1)},  // ingress-edge only (CQE first slice)
+      10, {{4}});
+  Phv at_edge;
+  at_edge.pkt = make_packet(1, 2, 3, 4, kProtoTcp, 0);
+  at_edge.at_ingress_edge = true;
+  init.execute(at_edge);
+  EXPECT_TRUE(at_edge.query_active(4));
+
+  Phv transit;
+  transit.pkt = make_packet(1, 2, 3, 4, kProtoTcp, 0);
+  transit.at_ingress_edge = false;
+  init.execute(transit);
+  EXPECT_FALSE(transit.query_active(4));
+}
+
+TEST(ModuleResources, FourModulesFitOneStage) {
+  // The premise of the compact layout: K+H+S+R fit a single stage.
+  const ResourceVec sum = k_module_resources() + h_module_resources() +
+                          s_module_resources() + r_module_resources();
+  EXPECT_TRUE(ResourceVec{}.fits_with(sum, stage_capacity()));
+}
+
+TEST(ModuleResources, SkewAcrossModules) {
+  // Table 3's skew: H dominates crossbar, S dominates SRAM/SALUs, R
+  // dominates TCAM/VLIW.
+  EXPECT_GT(h_module_resources().crossbar_bytes,
+            k_module_resources().crossbar_bytes);
+  EXPECT_GT(s_module_resources().sram_kb, h_module_resources().sram_kb);
+  EXPECT_GT(s_module_resources().salus, 0);
+  EXPECT_GT(r_module_resources().tcam_kb, s_module_resources().tcam_kb);
+  EXPECT_GT(r_module_resources().vliw_slots, k_module_resources().vliw_slots);
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,257 @@
+// Network-wide: topologies, routing/ECMP/failures, Algorithm 2 placement,
+// resilient end-to-end monitoring through reroutes.
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "core/queries.h"
+#include "net/net_controller.h"
+#include "net/network.h"
+#include "net/placement.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "trace/attacks.h"
+
+namespace newton {
+namespace {
+
+TEST(Topology, FatTreeGeometry) {
+  const Topology t = make_fat_tree(4);
+  // k=4: 4 cores, 8 agg, 8 edge = 20 switches; 16 hosts.
+  EXPECT_EQ(t.switches().size(), 20u);
+  EXPECT_EQ(t.hosts().size(), 16u);
+  EXPECT_EQ(t.edge_switches().size(), 8u);
+}
+
+TEST(Topology, FatTreeRejectsOddK) {
+  EXPECT_THROW(make_fat_tree(3), std::invalid_argument);
+}
+
+TEST(Topology, IspBackboneConnected) {
+  const Topology t = make_isp_backbone();
+  EXPECT_EQ(t.switches().size(), 27u);
+  // Every PoP reaches every other PoP.
+  for (int dst : t.switches()) {
+    const auto p = route(t, t.switches().front(), dst);
+    ASSERT_TRUE(p.has_value());
+  }
+}
+
+TEST(Topology, LineShape) {
+  const Topology t = make_line(3);
+  EXPECT_EQ(t.switches().size(), 3u);
+  EXPECT_EQ(t.hosts().size(), 2u);
+  const auto p = route(t, t.hosts()[0], t.hosts()[1]);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(switches_on(t, *p).size(), 3u);
+}
+
+TEST(Routing, ShortestAndEcmp) {
+  const Topology t = make_fat_tree(4);
+  const auto hosts = t.hosts();
+  // Same pod, same edge: 1-switch path.
+  const auto p1 = route(t, hosts[0], hosts[1]);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(switches_on(t, *p1).size(), 1u);
+  // Cross-pod: 5-switch path (edge-agg-core-agg-edge).
+  const auto p2 = route(t, hosts[0], hosts[15]);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(switches_on(t, *p2).size(), 5u);
+  // ECMP: different flow hashes can pick different cores.
+  std::set<std::vector<int>> distinct_paths;
+  for (uint32_t h = 0; h < 16; ++h)
+    distinct_paths.insert(*route(t, hosts[0], hosts[15], h));
+  EXPECT_GT(distinct_paths.size(), 1u);
+}
+
+TEST(Routing, FailureReroutesAndPartitionDetected) {
+  Topology t = make_line(3);
+  const auto sw = t.switches();
+  const auto hosts = t.hosts();
+  ASSERT_TRUE(route(t, hosts[0], hosts[1]).has_value());
+  t.fail_link(sw[1], sw[2]);
+  EXPECT_FALSE(route(t, hosts[0], hosts[1]).has_value());  // line: no detour
+  t.restore_link(sw[1], sw[2]);
+  EXPECT_TRUE(route(t, hosts[0], hosts[1]).has_value());
+}
+
+TEST(Routing, FatTreeSurvivesSingleFailure) {
+  Topology t = make_fat_tree(4);
+  const auto hosts = t.hosts();
+  const auto p = route(t, hosts[0], hosts[15], 3);
+  ASSERT_TRUE(p.has_value());
+  const auto sws = switches_on(t, *p);
+  t.fail_link(sws[0], sws[1]);  // cut the first inter-switch hop
+  const auto p2 = route(t, hosts[0], hosts[15], 3);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_NE(*p, *p2);
+}
+
+TEST(Placement, SliceDepthsFollowDistance) {
+  const Topology t = make_fat_tree(4);
+  const Placement p = place_resilient(t, t.edge_switches(), 3);
+  // Every edge switch carries slice 0.
+  for (int e : t.edge_switches()) EXPECT_TRUE(p.has(e, 0));
+  // Aggregation switches are 1 hop from edges: slice 1 present.
+  bool agg_has_1 = false;
+  for (const auto& [sw, slices] : p.assignment)
+    if (t.nodes[sw].name.starts_with("agg"))
+      agg_has_1 |= p.has(sw, 1);
+  EXPECT_TRUE(agg_has_1);
+}
+
+TEST(Placement, RuleMultiplexingBoundsEntries) {
+  const Topology t = make_fat_tree(4);
+  const Placement p = place_resilient(t, t.edge_switches(), 2);
+  // No switch holds a slice more than once.
+  for (const auto& [sw, slices] : p.assignment) {
+    std::set<std::size_t> uniq(slices.begin(), slices.end());
+    EXPECT_EQ(uniq.size(), slices.size());
+    EXPECT_LE(slices.size(), 2u);
+  }
+}
+
+TEST(Placement, CoverageInvariant) {
+  // Resilience: along ANY path from an ingress edge, the packet meets
+  // slice d at or before its (d+1)-th switch.  Check over ECMP paths.
+  const Topology t = make_fat_tree(4);
+  const std::size_t M = 3;
+  const Placement p = place_resilient(t, t.edge_switches(), M);
+  const auto hosts = t.hosts();
+  for (uint32_t h = 0; h < 32; ++h) {
+    const auto path = route(t, hosts[h % hosts.size()],
+                            hosts[(h * 7 + 3) % hosts.size()], h);
+    ASSERT_TRUE(path.has_value());
+    const auto sws = switches_on(t, *path);
+    for (std::size_t d = 0; d < std::min(M, sws.size()); ++d)
+      EXPECT_TRUE(p.has(sws[d], d))
+          << "slice " << d << " missing at hop " << d;
+  }
+}
+
+TEST(Placement, StatsCountEntries) {
+  const CompiledQuery cq = compile_query(make_q1());
+  auto slices = slice_query(cq, 3);
+  const Topology t = make_fat_tree(4);
+  const Placement p = place_resilient(t, t.edge_switches(), slices.size());
+  const PlacementStats st = placement_stats(p, slices);
+  EXPECT_GT(st.total_entries, 0u);
+  EXPECT_GT(st.avg_entries_per_switch, 0.0);
+  EXPECT_EQ(st.switches, p.assignment.size());
+}
+
+class LineNetwork : public ::testing::Test {
+ protected:
+  LineNetwork()
+      : net_(make_line(3), /*stages=*/3, &analyzer_, /*bank=*/1 << 14) {
+    h1_ = net_.topo().hosts()[0];
+    h2_ = net_.topo().hosts()[1];
+  }
+
+  Analyzer analyzer_;
+  Network net_;
+  int h1_, h2_;
+};
+
+TEST_F(LineNetwork, CqeDeploymentDetectsAttack) {
+  NetworkController ctl(net_, &analyzer_, 1 << 14);
+  QueryParams params;
+  params.sketch_width = 1024;
+  ctl.deploy(make_q1(params));
+
+  std::mt19937 rng(55);
+  Trace t;
+  const uint32_t victim = ipv4(172, 16, 9, 1);
+  inject_syn_flood(t, victim, 120, 1, 1'000'000, rng);
+  t.sort_by_time();
+  for (const Packet& p : t.packets) net_.send(p, h1_, h2_);
+
+  bool found = false;
+  for (const KeyArray& k : analyzer_.detected("q1_new_tcp"))
+    found |= k[index(Field::DstIp)] == victim;
+  EXPECT_TRUE(found);
+  // CQE reports once per detection, not per hop.
+  EXPECT_LT(analyzer_.reports_for("q1_new_tcp"), 10u);
+  // SP headers were carried between hops.
+  EXPECT_GT(net_.total_sp_link_bytes(), 0u);
+}
+
+TEST_F(LineNetwork, SoleModelReportsPerHop) {
+  QueryParams params;
+  params.sketch_width = 256;
+  // Sole execution needs the whole query per switch: use 12-stage switches.
+  Network wide(make_line(3), 12, &analyzer_, 1 << 14);
+  NetworkController wide_ctl(wide, &analyzer_, 1 << 14);
+  wide_ctl.deploy_sole(make_q1(params));
+
+  std::mt19937 rng(56);
+  Trace t;
+  inject_syn_flood(t, ipv4(172, 16, 9, 2), 120, 1, 1'000'000, rng);
+  t.sort_by_time();
+  const auto hosts = wide.topo().hosts();
+  for (const Packet& p : t.packets) wide.send(p, hosts[0], hosts[1]);
+
+  // Every switch on the 3-hop path reports independently: ~3x the reports.
+  EXPECT_GE(analyzer_.reports_for("q1_new_tcp"), 3u);
+}
+
+TEST(NetworkResilience, RerouteStillMonitored) {
+  // Square of switches: two disjoint paths between the hosts.  Fail one
+  // path mid-trace; the resiliently-placed query keeps monitoring.
+  Topology t;
+  const int a = t.add_node(NodeType::Switch, "a");
+  const int b = t.add_node(NodeType::Switch, "b");
+  const int c = t.add_node(NodeType::Switch, "c");
+  const int d = t.add_node(NodeType::Switch, "d");
+  t.add_link(a, b);
+  t.add_link(b, d);
+  t.add_link(a, c);
+  t.add_link(c, d);
+  const int h1 = t.add_node(NodeType::Host, "h1");
+  const int h2 = t.add_node(NodeType::Host, "h2");
+  t.add_link(h1, a);
+  t.add_link(d, h2);
+
+  Analyzer an;
+  Network net(t, /*stages=*/6, &an, 1 << 14);
+  NetworkController ctl(net, &an, 1 << 14);
+  QueryParams params;
+  params.q1_syn_th = 30;
+  params.sketch_width = 512;
+  ctl.deploy(make_q1(params), {}, {a});
+
+  std::mt19937 rng(57);
+  Trace flood;
+  const uint32_t victim = ipv4(172, 16, 9, 3);
+  inject_syn_flood(flood, victim, 200, 1, 1'000'000, rng);
+  flood.sort_by_time();
+
+  // First half on the original path, then a failure forces the other path.
+  for (std::size_t i = 0; i < flood.size(); ++i) {
+    if (i == flood.size() / 2) {
+      const auto cur = route(net.topo(), h1, h2, 0);
+      ASSERT_TRUE(cur.has_value());
+      net.topo().fail_link((*cur)[1], (*cur)[2]);
+    }
+    net.send(flood.packets[i], h1, h2);
+  }
+  bool found = false;
+  for (const KeyArray& k : an.detected("q1_new_tcp"))
+    found |= k[index(Field::DstIp)] == victim;
+  EXPECT_TRUE(found);
+}
+
+TEST(NetworkController, WithdrawRemovesRules) {
+  Analyzer an;
+  Network net(make_line(2), 6, &an, 1 << 14);
+  NetworkController ctl(net, &an, 1 << 14);
+  QueryParams params;
+  params.sketch_width = 256;
+  ctl.deploy(make_q1(params));
+  const auto sws = net.topo().switches();
+  EXPECT_GT(net.sw(sws[0]).installed_rule_count(), 0u);
+  ctl.withdraw("q1_new_tcp");
+  for (int s : sws) EXPECT_EQ(net.sw(s).installed_rule_count(), 0u);
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,117 @@
+// P4-16 code generation: structural properties of the emitted layout
+// program and the runtime rule scripts.
+#include <gtest/gtest.h>
+
+#include "core/p4gen.h"
+#include "core/queries.h"
+
+namespace newton {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& n) {
+  std::size_t count = 0, at = 0;
+  while ((at = hay.find(n, at)) != std::string::npos) {
+    ++count;
+    at += n.size();
+  }
+  return count;
+}
+
+TEST(P4Gen, ProgramHasOneModuleSuitePerStage) {
+  P4GenOptions opts;
+  opts.stages = 12;
+  const std::string p4 = generate_p4_program(opts);
+  for (int s = 0; s < 12; ++s) {
+    const std::string ss = std::to_string(s);
+    EXPECT_NE(p4.find("table newton_k_" + ss), std::string::npos) << s;
+    EXPECT_NE(p4.find("table newton_h_" + ss), std::string::npos) << s;
+    EXPECT_NE(p4.find("table newton_s_" + ss), std::string::npos) << s;
+    EXPECT_NE(p4.find("table newton_r_" + ss), std::string::npos) << s;
+    EXPECT_NE(p4.find("register<bit<32>>(49152) newton_bank_" + ss),
+              std::string::npos)
+        << s;
+    EXPECT_NE(p4.find("@stage(" + ss + ")"), std::string::npos) << s;
+  }
+  EXPECT_EQ(p4.find("table newton_k_12"), std::string::npos);
+}
+
+TEST(P4Gen, StageCountFollowsOptions) {
+  P4GenOptions opts;
+  opts.stages = 4;
+  opts.bank_registers = 1024;
+  opts.rules_per_module = 64;
+  const std::string p4 = generate_p4_program(opts);
+  EXPECT_EQ(count_occurrences(p4, "register<bit<32>>(1024)"), 4u);
+  EXPECT_EQ(count_occurrences(p4, "size = 64;"), 4u * 4u + 1u);  // + init
+}
+
+TEST(P4Gen, ParserHandlesSpShim) {
+  const std::string p4 = generate_p4_program();
+  EXPECT_NE(p4.find("0x88B5: parse_sp"), std::string::npos);
+  EXPECT_NE(p4.find("header sp_t"), std::string::npos);
+  EXPECT_NE(p4.find("bit<8>  next_slice"), std::string::npos);
+  EXPECT_NE(p4.find("strip_snapshot"), std::string::npos);
+}
+
+TEST(P4Gen, MetadataCarriesTwoSetsAndGlobal) {
+  const std::string p4 = generate_p4_program();
+  EXPECT_NE(p4.find("bit<32> keys0_sip"), std::string::npos);
+  EXPECT_NE(p4.find("bit<32> keys1_sip"), std::string::npos);
+  EXPECT_NE(p4.find("bit<32> global_result"), std::string::npos);
+  EXPECT_NE(p4.find("bit<32> hash0"), std::string::npos);
+  EXPECT_NE(p4.find("bit<32> state1"), std::string::npos);
+}
+
+TEST(P4Gen, InitTableMatchesSevenWords) {
+  const std::string p4 = generate_p4_program();
+  const auto at = p4.find("table newton_init");
+  ASSERT_NE(at, std::string::npos);
+  const std::string body = p4.substr(at, 500);
+  EXPECT_EQ(count_occurrences(body, ": ternary"), 7u);
+}
+
+TEST(P4Gen, RuleScriptCoversEveryModuleRule) {
+  const CompiledQuery cq = compile_query(make_q1());
+  const std::string script = generate_rule_script(cq, 5);
+  // One table_add per real module rule + one init entry per branch.
+  std::size_t real_rules = 0;
+  for (const auto& b : cq.branches)
+    for (const auto& m : b.modules) real_rules += m.rule_needed;
+  EXPECT_EQ(count_occurrences(script, "table_add"),
+            real_rules + cq.num_init_entries());
+  EXPECT_NE(script.find("table_add newton_init set_query"),
+            std::string::npos);
+  // The terminal when reports via R.
+  EXPECT_NE(script.find("r_report"), std::string::npos);
+  // The qid base is respected.
+  EXPECT_NE(script.find("(qid 5)"), std::string::npos);
+}
+
+TEST(P4Gen, RuleScriptEncodesSketchGeometry) {
+  QueryParams p;
+  p.sketch_width = 512;
+  p.row_partitions = 2;
+  const CompiledQuery cq = compile_query(make_q1(p));
+  const std::string script = generate_rule_script(cq);
+  // Hash spans width * partitions; S guards tile it.
+  EXPECT_NE(script.find(" 1024 0\n"), std::string::npos);    // hash width
+  EXPECT_NE(script.find(" 0 511 "), std::string::npos);      // guard part 0
+  EXPECT_NE(script.find(" 512 1023 "), std::string::npos);   // guard part 1
+}
+
+TEST(P4Gen, MultiBranchScriptNumbersQids) {
+  const CompiledQuery cq = compile_query(make_q6());
+  const std::string script = generate_rule_script(cq, 10);
+  EXPECT_NE(script.find("(qid 10)"), std::string::npos);
+  EXPECT_NE(script.find("(qid 11)"), std::string::npos);
+  EXPECT_NE(script.find("(qid 12)"), std::string::npos);
+}
+
+TEST(P4Gen, Deterministic) {
+  EXPECT_EQ(generate_p4_program(), generate_p4_program());
+  const CompiledQuery cq = compile_query(make_q4());
+  EXPECT_EQ(generate_rule_script(cq), generate_rule_script(cq));
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,89 @@
+// Packet substrate: fields, packets, flow keys, and the SP header codec.
+#include <gtest/gtest.h>
+
+#include "packet/flow_key.h"
+#include "packet/packet.h"
+#include "packet/sp_header.h"
+
+namespace newton {
+namespace {
+
+TEST(Fields, NamesAndWidths) {
+  EXPECT_EQ(field_name(Field::SrcIp), "sip");
+  EXPECT_EQ(field_name(Field::TcpFlags), "tcp_flags");
+  EXPECT_EQ(field_bits(Field::SrcIp), 32);
+  EXPECT_EQ(field_bits(Field::Proto), 8);
+  EXPECT_EQ(field_full_mask(Field::SrcPort), 0xffffu);
+  EXPECT_EQ(field_full_mask(Field::DstIp), 0xffffffffu);
+}
+
+TEST(Packet, MakePacketPopulatesFields) {
+  const Packet p = make_packet(ipv4(10, 0, 0, 1), ipv4(172, 16, 0, 1), 1234,
+                               443, kProtoTcp, kTcpSyn, 100, 42);
+  EXPECT_EQ(p.sip(), ipv4(10, 0, 0, 1));
+  EXPECT_EQ(p.dip(), ipv4(172, 16, 0, 1));
+  EXPECT_EQ(p.sport(), 1234u);
+  EXPECT_EQ(p.dport(), 443u);
+  EXPECT_TRUE(p.is_tcp());
+  EXPECT_FALSE(p.is_udp());
+  EXPECT_EQ(p.tcp_flags(), kTcpSyn);
+  EXPECT_EQ(p.get(Field::PktLen), 100u);
+  EXPECT_EQ(p.ts_ns, 42u);
+}
+
+TEST(Packet, Ipv4Helpers) {
+  EXPECT_EQ(ipv4(10, 1, 2, 3), 0x0A010203u);
+  EXPECT_EQ(ipv4_to_string(ipv4(192, 168, 0, 1)), "192.168.0.1");
+}
+
+TEST(FlowKey, EqualityAndHash) {
+  const Packet a = make_packet(1, 2, 3, 4, kProtoTcp);
+  const Packet b = make_packet(1, 2, 3, 4, kProtoTcp, kTcpAck);  // flags differ
+  const Packet c = make_packet(1, 2, 3, 5, kProtoTcp);
+  EXPECT_EQ(FiveTuple::of(a), FiveTuple::of(b));  // flags not in the 5-tuple
+  EXPECT_NE(FiveTuple::of(a), FiveTuple::of(c));
+  EXPECT_EQ(FiveTupleHash{}(FiveTuple::of(a)), FiveTupleHash{}(FiveTuple::of(b)));
+}
+
+TEST(SpHeader, RoundTrip) {
+  SpHeader h;
+  h.qid = 7;
+  h.next_slice = 2;
+  h.hash_result = 0xBEEF;
+  h.state_result = 0xDEADBEEF;
+  h.global_result = 0x12345678;
+  const auto bytes = sp_encode(h);
+  ASSERT_EQ(bytes.size(), kSpHeaderBytes);
+  const auto back = sp_decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, h);
+}
+
+TEST(SpHeader, TwelveBytesUnderOnePercentOfMtu) {
+  // The paper's bandwidth argument: 12B / 1500B < 1%.
+  EXPECT_EQ(kSpHeaderBytes, 12u);
+  EXPECT_LT(static_cast<double>(kSpHeaderBytes) / 1500.0, 0.01);
+}
+
+TEST(SpHeader, DecodeRejectsShortBuffer) {
+  const std::array<uint8_t, 4> small{1, 2, 3, 4};
+  EXPECT_FALSE(sp_decode(small.data(), small.size()).has_value());
+  EXPECT_FALSE(sp_decode(nullptr, 100).has_value());
+}
+
+TEST(SpHeader, EncodingIsBigEndian) {
+  SpHeader h;
+  h.hash_result = 0x0102;
+  h.state_result = 0x03040506;
+  h.global_result = 0x0708090A;
+  const auto b = sp_encode(h);
+  EXPECT_EQ(b[2], 0x01);
+  EXPECT_EQ(b[3], 0x02);
+  EXPECT_EQ(b[4], 0x03);
+  EXPECT_EQ(b[7], 0x06);
+  EXPECT_EQ(b[8], 0x07);
+  EXPECT_EQ(b[11], 0x0A);
+}
+
+}  // namespace
+}  // namespace newton

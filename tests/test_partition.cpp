@@ -1,0 +1,180 @@
+// Cross-switch register pooling: partitioned sketch rows (guarded S rules).
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/ground_truth.h"
+#include "analyzer/metrics.h"
+#include "core/compose.h"
+#include "core/newton_switch.h"
+#include "core/queries.h"
+#include "trace/attacks.h"
+
+namespace newton {
+namespace {
+
+TEST(SModulePartition, GuardMissEmitsMinIdentity) {
+  SModule s("s", 64);
+  SConfig cfg;
+  cfg.op = SaluOp::Add;
+  cfg.operand = 1;
+  cfg.guard_lo = 32;
+  cfg.guard_hi = 63;
+  cfg.index_base = 0;
+  s.table().insert(1, cfg);
+
+  Phv phv;
+  phv.pkt = make_packet(1, 2, 3, 4, kProtoTcp);
+  phv.activate_query(1);
+  phv.set(0).hash_result = 10;  // below guard: miss
+  s.execute(phv);
+  EXPECT_EQ(phv.set(0).state_result, kSMissValue);
+  EXPECT_EQ(s.registers().read(10), 0u);  // no state touched
+
+  phv.set(0).hash_result = 40;  // inside guard
+  s.execute(phv);
+  EXPECT_EQ(phv.set(0).state_result, 1u);
+  EXPECT_EQ(s.registers().read(40 - 32), 1u);  // local index_base mapping
+}
+
+TEST(SModulePartition, IndexBaseSeparatesQueries) {
+  SModule s("s", 128);
+  SConfig a;
+  a.op = SaluOp::Add;
+  a.guard_lo = 0;
+  a.guard_hi = 31;
+  a.index_base = 0;
+  SConfig b = a;
+  b.index_base = 64;
+  s.table().insert(1, a);
+  s.table().insert(2, b);
+
+  Phv phv;
+  phv.pkt = make_packet(1, 2, 3, 4, kProtoTcp);
+  phv.activate_query(1);
+  phv.activate_query(2);
+  phv.set(0).hash_result = 5;
+  s.execute(phv);
+  EXPECT_EQ(s.registers().read(5), 1u);
+  EXPECT_EQ(s.registers().read(64 + 5), 1u);  // disjoint state
+}
+
+TEST(Decompose, PartitionedRowsExpandToGuardedSModules) {
+  Query q = QueryBuilder("t")
+                .sketch(2, 128)
+                .partition_rows(3)
+                .reduce({Field::DstIp}, Agg::Sum)
+                .when(Cmp::Ge, 10)
+                .build();
+  const BranchModules b = decompose_branch(q, 0, true);
+  std::size_t s_count = 0, h_count = 0;
+  for (const ModuleSpec& m : b.modules) {
+    if (m.type == ModuleType::S && m.rule_needed) {
+      EXPECT_EQ(m.alloc_width, 128u);
+      EXPECT_EQ((m.s.guard_hi - m.s.guard_lo) + 1, 128u);
+      ++s_count;
+    }
+    if (m.type == ModuleType::H && m.rule_needed) {
+      EXPECT_EQ(m.h.width, 128u * 3u);  // hash spans the pooled row
+      ++h_count;
+    }
+  }
+  EXPECT_EQ(s_count, 2u * 3u);  // depth x partitions
+  EXPECT_EQ(h_count, 2u);       // one hash per row
+}
+
+TEST(Decompose, PartitionGuardsTileTheRow) {
+  Query q = QueryBuilder("t")
+                .sketch(1, 64)
+                .partition_rows(4)
+                .distinct({Field::DstIp})
+                .build();
+  const BranchModules b = decompose_branch(q, 0, true);
+  std::vector<std::pair<uint32_t, uint32_t>> guards;
+  for (const ModuleSpec& m : b.modules)
+    if (m.type == ModuleType::S) guards.push_back({m.s.guard_lo, m.s.guard_hi});
+  ASSERT_EQ(guards.size(), 4u);
+  uint32_t expect_lo = 0;
+  for (const auto& [lo, hi] : guards) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_EQ(hi, lo + 63);
+    expect_lo = hi + 1;
+  }
+  EXPECT_EQ(expect_lo, 256u);  // tiles [0, 4*64)
+}
+
+// The defining property: k partitions of width R behave exactly like one
+// row of width k*R.
+class PartitionEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionEquivalence, SameReportsAsWideRow) {
+  const std::size_t k = GetParam();
+  TraceProfile prof = caida_like(77);
+  prof.num_flows = 1'500;
+  Trace t = generate_trace(prof);
+  std::mt19937 rng(77);
+  inject_syn_flood(t, ipv4(172, 16, 5, 5), 120, 1, 30'000'000, rng);
+  t.sort_by_time();
+
+  auto run = [&](std::size_t width, std::size_t parts) {
+    QueryParams p;
+    p.sketch_depth = 2;
+    p.sketch_width = width;
+    p.row_partitions = parts;
+    const Query q = make_q1(p);
+    ReportBuffer sink;
+    NewtonSwitch sw(1, 24, &sink, 1 << 15);
+    sw.install(compile_query(q));
+    for (const Packet& pk : t.packets) sw.process(pk);
+    KeySet out;
+    for (const ReportRecord& r : sink.records()) out.insert(r.oper_keys);
+    return out;
+  };
+
+  // Identical hashing domain: width k*R with 1 partition vs width R with k.
+  EXPECT_EQ(run(256 * k, 1), run(256, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionEquivalence,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Partition, PooledRowsImproveAccuracy) {
+  // More pooled registers -> fewer sketch-induced errors (Fig. 14's
+  // mechanism), measured against exact ground truth.
+  TraceProfile prof = caida_like(78);
+  prof.num_flows = 9'000;
+  prof.duration_sec = 0.2;
+  Trace t = generate_trace(prof);
+  t.sort_by_time();
+
+  auto f1_of = [&](std::size_t parts) {
+    QueryParams p;
+    p.sketch_depth = 2;
+    p.sketch_width = 128;  // deliberately starved
+    p.row_partitions = parts;
+    const Query q = make_q1(p);
+    Analyzer an;
+    NewtonSwitch sw(1, 24, &an, 1 << 15);
+    const auto res = sw.install(compile_query(q));
+    an.register_qid_any(res.qids[0], q.name, 0);
+    for (const Packet& pk : t.packets) sw.process(pk);
+    const QueryTruth truth = exact_truth(q, t);
+    Accuracy acc;
+    for (const auto& [w, uni] : truth.branches[0].universe) {
+      const KeySet det = an.detected_in_window(q.name, 0, w, q.window_ns);
+      const KeySet tw = truth.branches[0].passing.contains(w)
+                            ? truth.branches[0].passing.at(w)
+                            : KeySet{};
+      const Accuracy a = score(det, tw, uni);
+      acc.tp += a.tp;
+      acc.fp += a.fp;
+      acc.fn += a.fn;
+      acc.tn += a.tn;
+    }
+    return acc.f1();
+  };
+
+  EXPECT_GT(f1_of(4), f1_of(1));
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,145 @@
+// libpcap container support: round trips, both byte orders, skipping of
+// non-IPv4 frames, corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "packet/wire.h"
+#include "trace/pcap.h"
+#include "trace/trace_gen.h"
+
+namespace newton {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Trace small_trace() {
+  TraceProfile p = caida_like(93);
+  p.num_flows = 120;
+  Trace t = generate_trace(p);
+  return t;
+}
+
+TEST(Pcap, RoundTripPreservesHeadersAndTimestamps) {
+  const Trace t = small_trace();
+  const std::string path = tmp_path("newton_test.pcap");
+  save_pcap(t, path);
+
+  PcapLoadStats st;
+  const Trace back = load_pcap(path, &st);
+  EXPECT_EQ(st.frames, t.size());
+  EXPECT_EQ(st.parsed, t.size());
+  EXPECT_EQ(st.skipped, 0u);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); i += 7) {
+    EXPECT_EQ(back.packets[i].ts_ns, t.packets[i].ts_ns);
+    EXPECT_EQ(back.packets[i].sip(), t.packets[i].sip());
+    EXPECT_EQ(back.packets[i].dip(), t.packets[i].dip());
+    EXPECT_EQ(back.packets[i].sport(), t.packets[i].sport());
+    EXPECT_EQ(back.packets[i].proto(), t.packets[i].proto());
+    EXPECT_EQ(back.packets[i].tcp_flags(), t.packets[i].tcp_flags());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, MicrosecondAndSwappedMagics) {
+  // Hand-craft a one-packet usec-magic big-endian-ish (swapped) file.
+  const std::string path = tmp_path("newton_test_swapped.pcap");
+  {
+    std::ofstream os(path, std::ios::binary);
+    auto be32 = [&](uint32_t v) {
+      char b[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                   static_cast<char>(v >> 8), static_cast<char>(v)};
+      os.write(b, 4);
+    };
+    auto be16 = [&](uint16_t v) {
+      char b[2] = {static_cast<char>(v >> 8), static_cast<char>(v)};
+      os.write(b, 2);
+    };
+    be32(0xA1B2C3D4);  // written big-endian => reader sees swapped magic
+    be16(2);
+    be16(4);
+    be32(0);
+    be32(0);
+    be32(1 << 16);
+    be32(1);  // ethernet
+    const auto frame =
+        deparse_frame(make_packet(ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8), 10, 20,
+                                  kProtoUdp, 0, 100));
+    be32(3);        // ts_sec
+    be32(500'000);  // ts_usec
+    be32(static_cast<uint32_t>(frame.size()));
+    be32(static_cast<uint32_t>(frame.size()));
+    os.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<long>(frame.size()));
+  }
+  const Trace t = load_pcap(path);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.packets[0].ts_ns, 3'500'000'000ull);  // usec converted to ns
+  EXPECT_EQ(t.packets[0].dport(), 20u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, SkipsNonIpv4Frames) {
+  const std::string path = tmp_path("newton_test_mixed.pcap");
+  {
+    Trace t;
+    t.packets.push_back(
+        make_packet(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1, 2, kProtoTcp,
+                    kTcpSyn, 80));
+    save_pcap(t, path);
+    // Append a bogus ARP-ish frame record.
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    auto le32 = [&](uint32_t v) {
+      char b[4];
+      for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+      os.write(b, 4);
+    };
+    le32(9);
+    le32(0);
+    le32(20);
+    le32(20);
+    std::vector<char> junk(20, 0);
+    junk[12] = 0x08;
+    junk[13] = 0x06;  // ARP ethertype
+    os.write(junk.data(), 20);
+  }
+  PcapLoadStats st;
+  const Trace t = load_pcap(path, &st);
+  EXPECT_EQ(st.frames, 2u);
+  EXPECT_EQ(st.parsed, 1u);
+  EXPECT_EQ(st.skipped, 1u);
+  EXPECT_EQ(t.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, RejectsCorruptContainers) {
+  const std::string path = tmp_path("newton_test_bad.pcap");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "GARBAGEGARBAGE";
+  }
+  EXPECT_THROW(load_pcap(path), std::runtime_error);
+
+  {
+    // Valid header, truncated record.
+    Trace t;
+    t.packets.push_back(
+        make_packet(1, 2, 3, 4, kProtoTcp, 0, 80));
+    save_pcap(t, path);
+    std::error_code ec;
+    std::filesystem::resize_file(path,
+                                 std::filesystem::file_size(path) - 10, ec);
+    ASSERT_FALSE(ec);
+  }
+  EXPECT_THROW(load_pcap(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_pcap("/nonexistent/x.pcap"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace newton

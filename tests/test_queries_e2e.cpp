@@ -1,0 +1,191 @@
+// End-to-end: all nine queries on attack traces, data-plane results checked
+// against the exact ground truth and against the injected attack identity.
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/ground_truth.h"
+#include "analyzer/metrics.h"
+#include "core/compose.h"
+#include "core/newton_switch.h"
+#include "core/queries.h"
+#include "trace/attacks.h"
+
+namespace newton {
+namespace {
+
+struct Scenario {
+  Trace trace;
+  uint32_t expected;  // ip the query's (possibly joined) result must contain
+};
+
+Trace background(std::size_t flows, uint32_t seed) {
+  TraceProfile p = caida_like(seed);
+  p.num_flows = flows;
+  return generate_trace(p);
+}
+
+class QueryE2E : public ::testing::Test {
+ protected:
+  // Install `q`, replay `t`, return the analyzer (registered for q).
+  std::unique_ptr<Analyzer> run(const Query& q, const Trace& t) {
+    auto an = std::make_unique<Analyzer>();
+    // 18 stages: Q8's two same-traffic sub-queries serialize past 12; on
+    // real hardware that case uses CQE (exercised in test_cqe/test_net).
+    sw_ = std::make_unique<NewtonSwitch>(1, 18, an.get());
+    const auto res = sw_->install(compile_query(q));
+    for (std::size_t bi = 0; bi < res.qids.size(); ++bi)
+      an->register_qid_any(res.qids[bi], q.name, bi);
+    for (const Packet& p : t.packets) sw_->process(p);
+    return an;
+  }
+
+  static bool contains_ip(const KeySet& keys, Field f, uint32_t ip) {
+    for (const KeyArray& k : keys)
+      if (k[index(f)] == ip) return true;
+    return false;
+  }
+
+  std::unique_ptr<NewtonSwitch> sw_;
+};
+
+TEST_F(QueryE2E, Q1NewTcpConnections) {
+  std::mt19937 rng(21);
+  Trace t = background(800, 21);
+  const uint32_t victim = ipv4(172, 16, 7, 7);
+  inject_syn_flood(t, victim, 200, 1, 50'000'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q1(), t);
+  EXPECT_TRUE(contains_ip(an->detected("q1_new_tcp"), Field::DstIp, victim));
+}
+
+TEST_F(QueryE2E, Q2SshBruteForce) {
+  std::mt19937 rng(22);
+  Trace t = background(600, 22);
+  const uint32_t victim = ipv4(172, 16, 5, 5);
+  inject_ssh_brute(t, ipv4(198, 18, 1, 1), victim, 60, 10'000'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q2(), t);
+  EXPECT_TRUE(contains_ip(an->detected("q2_ssh_brute"), Field::DstIp, victim));
+}
+
+TEST_F(QueryE2E, Q3SuperSpreader) {
+  std::mt19937 rng(23);
+  Trace t = background(600, 23);
+  const uint32_t spreader = ipv4(198, 18, 2, 2);
+  inject_super_spreader(t, spreader, 150, 10'000'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q3(), t);
+  EXPECT_TRUE(
+      contains_ip(an->detected("q3_super_spreader"), Field::SrcIp, spreader));
+}
+
+TEST_F(QueryE2E, Q4PortScan) {
+  std::mt19937 rng(24);
+  Trace t = background(600, 24);
+  const uint32_t scanner = ipv4(198, 18, 3, 3);
+  inject_port_scan(t, scanner, ipv4(172, 16, 1, 1), 120, 10'000'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q4(), t);
+  EXPECT_TRUE(
+      contains_ip(an->detected("q4_port_scan"), Field::SrcIp, scanner));
+}
+
+TEST_F(QueryE2E, Q5UdpDdos) {
+  std::mt19937 rng(25);
+  Trace t = background(600, 25);
+  const uint32_t victim = ipv4(172, 16, 4, 4);
+  inject_udp_flood(t, victim, 120, 2, 10'000'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q5(), t);
+  EXPECT_TRUE(contains_ip(an->detected("q5_udp_ddos"), Field::DstIp, victim));
+}
+
+TEST_F(QueryE2E, Q6SynFloodJoin) {
+  std::mt19937 rng(26);
+  Trace t = background(800, 26);
+  const uint32_t victim = ipv4(172, 16, 6, 6);
+  // Flood: many SYNs, no ACK follow-up -> victim appears in syn branch only.
+  inject_syn_flood(t, victim, 300, 1, 50'000'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q6(), t);
+  const KeySet victims = an->join_syn_flood();
+  EXPECT_TRUE(contains_ip(victims, Field::DstIp, victim));
+}
+
+TEST_F(QueryE2E, Q7CompletedTcp) {
+  std::mt19937 rng(27);
+  Trace t = background(400, 27);
+  const uint32_t server = ipv4(172, 16, 8, 8);
+  // Many short completed connections from distinct clients.
+  for (int i = 0; i < 80; ++i)
+    emit_tcp_connection(t.packets, ipv4(10, 9, 0, 1 + i % 200), server,
+                        static_cast<uint16_t>(30000 + i), 80, 1,
+                        20'000'000 + 100'000ull * i, 5'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q7(), t);
+  EXPECT_TRUE(
+      contains_ip(an->detected("q7_completed_tcp"), Field::DstIp, server));
+}
+
+TEST_F(QueryE2E, Q8SlowlorisJoin) {
+  std::mt19937 rng(28);
+  Trace t = background(400, 28);
+  const uint32_t victim = ipv4(172, 16, 2, 2);
+  inject_slowloris(t, ipv4(198, 18, 4, 4), victim, 60, 10'000'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q8(), t);
+  EXPECT_TRUE(contains_ip(an->join_slowloris(), Field::DstIp, victim));
+}
+
+TEST_F(QueryE2E, Q9DnsWithoutTcp) {
+  std::mt19937 rng(29);
+  Trace t = background(300, 29);
+  const uint32_t host = ipv4(10, 99, 0, 1);
+  inject_dns_no_tcp(t, host, ipv4(172, 16, 0, 53), 10, 10'000'000, rng);
+  t.sort_by_time();
+  const auto an = run(make_q9(), t);
+  EXPECT_TRUE(contains_ip(an->join_dns_no_tcp(), Field::DstIp, host));
+}
+
+// With ample sketch memory, the data plane must agree with the exact
+// reference for every single-branch threshold query.
+class ExactAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactAgreement, DataPlaneEqualsGroundTruth) {
+  const int qi = GetParam();
+  QueryParams params;
+  params.sketch_width = 1 << 15;
+  params.sketch_depth = 2;
+  const Query q = all_queries(params)[static_cast<std::size_t>(qi)];
+  if (q.branches.size() != 1) GTEST_SKIP() << "joined query";
+
+  std::mt19937 rng(31 + qi);
+  Trace t = background(500, 31 + static_cast<uint32_t>(qi));
+  inject_syn_flood(t, ipv4(172, 16, 1, 2), 150, 1, 20'000'000, rng);
+  inject_port_scan(t, ipv4(198, 18, 9, 9), ipv4(172, 16, 1, 3), 100,
+                   30'000'000, rng);
+  inject_udp_flood(t, ipv4(172, 16, 1, 4), 80, 2, 40'000'000, rng);
+  inject_super_spreader(t, ipv4(198, 18, 8, 8), 120, 50'000'000, rng);
+  t.sort_by_time();
+
+  Analyzer an;
+  NewtonSwitch sw(1, 12, &an, /*bank=*/1 << 17);
+  const auto res = sw.install(compile_query(q));
+  an.register_qid_any(res.qids[0], q.name, 0);
+  for (const Packet& p : t.packets) sw.process(p);
+
+  const QueryTruth truth = exact_truth(q, t);
+  const KeySet detected = an.detected(q.name, 0);
+  const KeySet expect = truth.passing_union(0);
+  const Accuracy acc = score(detected, expect, expect);
+  // No false negatives tolerated (CM never under-counts; BF `distinct`
+  // may suppress duplicates only); precision may dip via sketch collisions.
+  EXPECT_EQ(acc.fn, 0u) << q.name;
+  EXPECT_GE(acc.precision(), 0.95) << q.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SingleBranchQueries, ExactAgreement,
+                         ::testing::Values(0, 1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace newton

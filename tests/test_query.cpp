@@ -1,0 +1,130 @@
+// Query API: builder, predicates, the nine canned queries.
+#include <gtest/gtest.h>
+
+#include "core/queries.h"
+#include "core/query.h"
+
+namespace newton {
+namespace {
+
+TEST(Predicate, ConjunctionEval) {
+  const Predicate p = Predicate{}
+                          .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                          .where(Field::TcpFlags, Cmp::Eq, kTcpSyn);
+  EXPECT_TRUE(p.eval(make_packet(1, 2, 3, 4, kProtoTcp, kTcpSyn)));
+  EXPECT_FALSE(p.eval(make_packet(1, 2, 3, 4, kProtoTcp, kTcpAck)));
+  EXPECT_FALSE(p.eval(make_packet(1, 2, 3, 4, kProtoUdp, 0)));
+}
+
+TEST(Predicate, MaskedEval) {
+  // FIN bit set, any other flags.
+  const Predicate p =
+      Predicate{}.where(Field::TcpFlags, Cmp::Eq, kTcpFin, kTcpFin);
+  EXPECT_TRUE(p.eval(make_packet(1, 2, 3, 4, kProtoTcp, kTcpFin | kTcpAck)));
+  EXPECT_FALSE(p.eval(make_packet(1, 2, 3, 4, kProtoTcp, kTcpAck)));
+}
+
+TEST(Predicate, ComparisonOperators) {
+  auto pkt = make_packet(1, 2, 3, 1000, kProtoTcp);
+  EXPECT_TRUE(Predicate{}.where(Field::DstPort, Cmp::Ge, 1000).eval(pkt));
+  EXPECT_FALSE(Predicate{}.where(Field::DstPort, Cmp::Gt, 1000).eval(pkt));
+  EXPECT_TRUE(Predicate{}.where(Field::DstPort, Cmp::Le, 1000).eval(pkt));
+  EXPECT_FALSE(Predicate{}.where(Field::DstPort, Cmp::Lt, 1000).eval(pkt));
+  EXPECT_TRUE(Predicate{}.where(Field::DstPort, Cmp::Ne, 999).eval(pkt));
+}
+
+TEST(Predicate, InitExpressibility) {
+  EXPECT_TRUE(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                  .where(Field::DstPort, Cmp::Eq, 22)
+                  .init_expressible());
+  // Range comparisons are not ternary-expressible.
+  EXPECT_FALSE(Predicate{}.where(Field::DstPort, Cmp::Ge, 22).init_expressible());
+  // Non-5-tuple fields are not in newton_init's key.
+  EXPECT_FALSE(Predicate{}.where(Field::PktLen, Cmp::Eq, 64).init_expressible());
+}
+
+TEST(Builder, ChainsPrimitivesInOrder) {
+  const Query q = QueryBuilder("t")
+                      .filter(Predicate{}.where(Field::Proto, Cmp::Eq, 6))
+                      .map({Field::DstIp})
+                      .distinct({Field::DstIp, Field::SrcIp})
+                      .reduce({Field::DstIp}, Agg::Sum)
+                      .when(Cmp::Ge, 10)
+                      .build();
+  ASSERT_EQ(q.branches.size(), 1u);
+  const auto& prims = q.branches[0].primitives;
+  ASSERT_EQ(prims.size(), 5u);
+  EXPECT_EQ(prims[0].kind, PrimitiveKind::Filter);
+  EXPECT_EQ(prims[1].kind, PrimitiveKind::Map);
+  EXPECT_EQ(prims[2].kind, PrimitiveKind::Distinct);
+  EXPECT_EQ(prims[3].kind, PrimitiveKind::Reduce);
+  EXPECT_EQ(prims[4].kind, PrimitiveKind::When);
+}
+
+TEST(Builder, BranchesSplitChains) {
+  const Query q = QueryBuilder("t")
+                      .branch("a")
+                      .map({Field::DstIp})
+                      .branch("b")
+                      .map({Field::SrcIp})
+                      .build();
+  ASSERT_EQ(q.branches.size(), 2u);
+  EXPECT_EQ(q.branches[0].name, "a");
+  EXPECT_EQ(q.branches[1].name, "b");
+  EXPECT_EQ(q.num_primitives(), 2u);
+}
+
+TEST(Builder, RejectsEmptyBranch) {
+  EXPECT_THROW(QueryBuilder("t").build(), std::invalid_argument);
+  EXPECT_THROW(
+      QueryBuilder("t").map({Field::DstIp}).branch("empty").build(),
+      std::invalid_argument);
+}
+
+TEST(Builder, SketchAndWindowKnobs) {
+  const Query q = QueryBuilder("t")
+                      .sketch(3, 1024)
+                      .window_ms(50)
+                      .map({Field::DstIp})
+                      .build();
+  EXPECT_EQ(q.sketch_depth, 3u);
+  EXPECT_EQ(q.sketch_width, 1024u);
+  EXPECT_EQ(q.window_ns, 50'000'000u);
+  EXPECT_THROW(QueryBuilder("t").sketch(0, 10), std::invalid_argument);
+}
+
+TEST(CannedQueries, PrimitiveCountsMatchStructure) {
+  const QueryParams p;
+  EXPECT_EQ(make_q1(p).num_primitives(), 4u);
+  EXPECT_EQ(make_q2(p).num_primitives(), 6u);
+  EXPECT_EQ(make_q3(p).num_primitives(), 5u);
+  EXPECT_EQ(make_q4(p).num_primitives(), 6u);
+  EXPECT_EQ(make_q5(p).num_primitives(), 6u);
+  EXPECT_EQ(make_q6(p).num_primitives(), 12u);  // 3 parallel sub-queries
+  EXPECT_EQ(make_q7(p).num_primitives(), 6u);
+  EXPECT_EQ(make_q8(p).num_primitives(), 10u);  // 2 parallel sub-queries
+  EXPECT_EQ(make_q9(p).num_primitives(), 6u);
+}
+
+TEST(CannedQueries, AllNineBuildAndDescribe) {
+  const auto qs = all_queries();
+  ASSERT_EQ(qs.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_FALSE(qs[i].name.empty());
+    EXPECT_FALSE(query_description(i + 1).empty());
+  }
+  EXPECT_THROW(query_description(0), std::out_of_range);
+  EXPECT_THROW(query_description(10), std::out_of_range);
+}
+
+TEST(CannedQueries, Q6HasThreeBranches) {
+  const Query q = make_q6();
+  ASSERT_EQ(q.branches.size(), 3u);
+  EXPECT_EQ(q.branches[0].name, "syn");
+  EXPECT_EQ(q.branches[1].name, "synack");
+  EXPECT_EQ(q.branches[2].name, "ack");
+}
+
+}  // namespace
+}  // namespace newton

@@ -1,0 +1,181 @@
+// Hash family, Count-Min sketch and Bloom filter: unit + property tests.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <unordered_map>
+
+#include "sketch/bloom.h"
+#include "sketch/count_min.h"
+#include "sketch/hash.h"
+
+namespace newton {
+namespace {
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(hash_u32(HashAlgo::Crc32, 1, 42), hash_u32(HashAlgo::Crc32, 1, 42));
+  EXPECT_EQ(hash_u32(HashAlgo::Mix64, 9, 7), hash_u32(HashAlgo::Mix64, 9, 7));
+}
+
+TEST(Hash, SeedChangesOutput) {
+  EXPECT_NE(hash_u32(HashAlgo::Crc32, 1, 42), hash_u32(HashAlgo::Crc32, 2, 42));
+  EXPECT_NE(hash_u32(HashAlgo::Crc32c, 1, 42),
+            hash_u32(HashAlgo::Crc32c, 2, 42));
+}
+
+TEST(Hash, AlgorithmsDiffer) {
+  EXPECT_NE(hash_u32(HashAlgo::Crc32, 1, 42), hash_u32(HashAlgo::Crc32c, 1, 42));
+  EXPECT_NE(hash_u32(HashAlgo::Crc32, 1, 42), hash_u32(HashAlgo::Mix64, 1, 42));
+}
+
+TEST(Hash, IdentityPassesValueThrough) {
+  EXPECT_EQ(hash_u32(HashAlgo::Identity, 99, 1234u), 1234u);
+  const std::array<uint32_t, 3> words{55, 2, 3};
+  EXPECT_EQ(hash_words(HashAlgo::Identity, 0, words), 55u);
+}
+
+TEST(Hash, SeedsProduceDecorrelatedFunctions) {
+  // Regression: CRC is affine, so naive re-seeding yields XOR-shifted
+  // copies of one function and sketch rows collapse to a single row.  The
+  // finalizer must break that: h1(k) ^ h2(k) must vary across keys.
+  std::set<uint32_t> xors;
+  for (uint32_t k = 0; k < 256; ++k) {
+    std::array<uint32_t, 1> w{k};
+    xors.insert(hash_words(HashAlgo::Crc32c, 111, w) ^
+                hash_words(HashAlgo::Crc32c, 222, w));
+  }
+  EXPECT_GT(xors.size(), 200u);
+}
+
+TEST(Hash, KnownCrc32Vector) {
+  // CRC-32("123456789") = 0xCBF43926 with seed 0.
+  const char* s = "123456789";
+  const auto bytes = std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(s), 9);
+  EXPECT_EQ(hash_bytes(HashAlgo::Crc32, 0, bytes), 0xCBF43926u);
+}
+
+class HashUniformity : public ::testing::TestWithParam<HashAlgo> {};
+
+TEST_P(HashUniformity, BucketsRoughlyBalanced) {
+  constexpr int kBuckets = 64;
+  constexpr int kSamples = 64'000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i)
+    ++counts[hash_u32(GetParam(), 1234, static_cast<uint32_t>(i)) % kBuckets];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 63 dof; 99.9th percentile ~ 103. Generous bound against flakiness.
+  EXPECT_LT(chi2, 120.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, HashUniformity,
+                         ::testing::Values(HashAlgo::Crc32, HashAlgo::Crc32c,
+                                           HashAlgo::Mix64));
+
+TEST(CountMin, ExactWhenNoCollision) {
+  CountMin cm(2, 1 << 16);
+  for (uint32_t k = 0; k < 100; ++k)
+    for (uint32_t i = 0; i <= k; ++i) cm.update(k);
+  for (uint32_t k = 0; k < 100; ++k) EXPECT_EQ(cm.estimate(k), k + 1);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  std::mt19937 rng(3);
+  CountMin cm(3, 64);  // tiny: force collisions
+  std::unordered_map<uint32_t, uint64_t> truth;
+  for (int i = 0; i < 5'000; ++i) {
+    const uint32_t key = rng() % 512;
+    ++truth[key];
+    cm.update(key);
+  }
+  for (const auto& [k, v] : truth) EXPECT_GE(cm.estimate(k), v);
+}
+
+TEST(CountMin, UpdateReturnsRunningEstimate) {
+  CountMin cm(2, 1024);
+  EXPECT_EQ(cm.update(7), 1u);
+  EXPECT_EQ(cm.update(7), 2u);
+  EXPECT_EQ(cm.update(7, 10), 12u);
+}
+
+TEST(CountMin, ClearResets) {
+  CountMin cm(2, 128);
+  cm.update(1, 100);
+  cm.clear();
+  EXPECT_EQ(cm.estimate(1), 0u);
+}
+
+TEST(CountMin, RejectsZeroGeometry) {
+  EXPECT_THROW(CountMin(0, 10), std::invalid_argument);
+  EXPECT_THROW(CountMin(2, 0), std::invalid_argument);
+}
+
+class CountMinError : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: average overestimate shrinks as width grows (the accuracy
+// mechanism behind Fig. 14).
+TEST_P(CountMinError, WiderIsMoreAccurate) {
+  const std::size_t width = GetParam();
+  std::mt19937 rng(11);
+  CountMin narrow(2, width), wide(2, width * 4);
+  std::unordered_map<uint32_t, uint64_t> truth;
+  for (int i = 0; i < 20'000; ++i) {
+    const uint32_t key = rng() % 4096;
+    ++truth[key];
+    narrow.update(key);
+    wide.update(key);
+  }
+  uint64_t err_narrow = 0, err_wide = 0;
+  for (const auto& [k, v] : truth) {
+    err_narrow += narrow.estimate(k) - v;
+    err_wide += wide.estimate(k) - v;
+  }
+  EXPECT_LE(err_wide, err_narrow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CountMinError,
+                         ::testing::Values(64, 256, 1024));
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter bf(3, 1 << 14);
+  for (uint32_t k = 0; k < 2'000; ++k) bf.insert(k * 2654435761u);
+  for (uint32_t k = 0; k < 2'000; ++k)
+    EXPECT_TRUE(bf.contains(k * 2654435761u));
+}
+
+TEST(Bloom, InsertReportsFirstOccurrence) {
+  BloomFilter bf(3, 1 << 14);
+  EXPECT_FALSE(bf.insert(42));  // new
+  EXPECT_TRUE(bf.insert(42));   // seen
+}
+
+TEST(Bloom, FprNearTheory) {
+  const std::size_t n = 4'000;
+  BloomFilter bf(3, 1 << 15);
+  for (uint32_t k = 0; k < n; ++k) bf.insert(k);
+  std::size_t fp = 0;
+  const std::size_t probes = 20'000;
+  for (uint32_t k = 0; k < probes; ++k) fp += bf.contains(1'000'000 + k);
+  const double measured = static_cast<double>(fp) / probes;
+  const double theory = bf.expected_fpr(n);
+  EXPECT_NEAR(measured, theory, std::max(0.01, theory));
+}
+
+TEST(Bloom, ClearResets) {
+  BloomFilter bf(2, 256);
+  bf.insert(5);
+  EXPECT_GT(bf.popcount(), 0u);
+  bf.clear();
+  EXPECT_EQ(bf.popcount(), 0u);
+  EXPECT_FALSE(bf.contains(5));
+}
+
+TEST(Bloom, RejectsZeroGeometry) {
+  EXPECT_THROW(BloomFilter(0, 10), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace newton

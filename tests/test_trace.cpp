@@ -1,0 +1,190 @@
+// Trace generation: Zipf skew, TCP session structure, profiles, injectors.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "packet/flow_key.h"
+#include "trace/attacks.h"
+#include "trace/trace_gen.h"
+#include "trace/zipf.h"
+
+namespace newton {
+namespace {
+
+TEST(Zipf, RankZeroDominates) {
+  std::mt19937 rng(1);
+  ZipfSampler z(1000, 1.1);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20'000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20'000 / 50);  // head carries a large share
+}
+
+TEST(Zipf, AlphaZeroIsUniformish) {
+  std::mt19937 rng(2);
+  ZipfSampler z(10, 0.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[z.sample(rng)];
+  for (const auto& [r, c] : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+
+TEST(TcpConnection, CompleteHandshakeAndTeardown) {
+  std::mt19937 rng(3);
+  std::vector<Packet> pkts;
+  emit_tcp_connection(pkts, 1, 2, 1000, 80, 5, 0, 1000, rng);
+  // SYN, SYNACK, ACK + 5 data + FIN, FINACK, ACK = 11 packets.
+  ASSERT_EQ(pkts.size(), 11u);
+  EXPECT_EQ(pkts[0].tcp_flags(), kTcpSyn);
+  EXPECT_EQ(pkts[0].sip(), 1u);
+  EXPECT_EQ(pkts[1].tcp_flags(), kTcpSynAck);
+  EXPECT_EQ(pkts[1].sip(), 2u);  // reverse direction
+  EXPECT_EQ(pkts[2].tcp_flags(), kTcpAck);
+  EXPECT_TRUE(pkts[8].tcp_flags() & kTcpFin);
+  // Timestamps strictly increase.
+  for (std::size_t i = 1; i < pkts.size(); ++i)
+    EXPECT_GT(pkts[i].ts_ns, pkts[i - 1].ts_ns);
+}
+
+TEST(TcpConnection, IncompleteEmitsOnlySyn) {
+  std::mt19937 rng(3);
+  std::vector<Packet> pkts;
+  emit_tcp_connection(pkts, 1, 2, 1000, 80, 5, 0, 1000, rng,
+                      /*complete=*/false);
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_EQ(pkts[0].tcp_flags(), kTcpSyn);
+}
+
+TEST(TraceGen, DeterministicPerSeed) {
+  TraceProfile p = caida_like(5);
+  p.num_flows = 500;
+  const Trace a = generate_trace(p);
+  const Trace b = generate_trace(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97)
+    EXPECT_EQ(a.packets[i].fields, b.packets[i].fields);
+}
+
+TEST(TraceGen, SortedByTime) {
+  TraceProfile p = mawi_like(6);
+  p.num_flows = 800;
+  const Trace t = generate_trace(p);
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_LE(t.packets[i - 1].ts_ns, t.packets[i].ts_ns);
+}
+
+TEST(TraceGen, ProfilesShapeProtocolMix) {
+  TraceProfile c = caida_like(7);
+  c.num_flows = 2'000;
+  TraceProfile m = mawi_like(7);
+  m.num_flows = 2'000;
+  auto udp_share = [](const Trace& t) {
+    std::size_t udp = 0;
+    for (const Packet& p : t.packets) udp += p.is_udp();
+    return static_cast<double>(udp) / t.size();
+  };
+  const double caida_udp = udp_share(generate_trace(c));
+  const double mawi_udp = udp_share(generate_trace(m));
+  EXPECT_LT(caida_udp, mawi_udp);  // MAWI profile is UDP/DNS-heavier
+}
+
+TEST(TraceGen, FlowSizesHeavyTailed) {
+  TraceProfile p = caida_like(8);
+  p.num_flows = 3'000;
+  const Trace t = generate_trace(p);
+  std::unordered_map<FiveTuple, std::size_t> per_flow;
+  for (const Packet& pk : t.packets) ++per_flow[FiveTuple::of(pk)];
+  std::vector<std::size_t> sizes;
+  for (const auto& [k, v] : per_flow) sizes.push_back(v);
+  std::sort(sizes.rbegin(), sizes.rend());
+  std::size_t total = 0, top = 0;
+  for (std::size_t s : sizes) total += s;
+  for (std::size_t i = 0; i < sizes.size() / 10; ++i) top += sizes[i];
+  // Top 10% of flows carry well over a third of packets.
+  EXPECT_GT(static_cast<double>(top) / total, 0.35);
+}
+
+TEST(Attacks, SynFloodInjectsSpoofedSyns) {
+  std::mt19937 rng(9);
+  Trace t;
+  const uint32_t victim = ipv4(172, 16, 9, 9);
+  const auto info = inject_syn_flood(t, victim, 50, 3, 0, rng);
+  EXPECT_EQ(info.packets_injected, 150u);
+  EXPECT_EQ(t.size(), 150u);
+  EXPECT_EQ(info.attackers.size(), 50u);
+  for (const Packet& p : t.packets) {
+    EXPECT_EQ(p.dip(), victim);
+    EXPECT_EQ(p.tcp_flags(), kTcpSyn);
+  }
+}
+
+TEST(Attacks, PortScanCoversDistinctPorts) {
+  std::mt19937 rng(9);
+  Trace t;
+  inject_port_scan(t, 1, 2, 120, 0, rng);
+  std::unordered_set<uint32_t> ports;
+  for (const Packet& p : t.packets) ports.insert(p.dport());
+  EXPECT_EQ(ports.size(), 120u);
+}
+
+TEST(Attacks, SuperSpreaderCoversDistinctDips) {
+  std::mt19937 rng(9);
+  Trace t;
+  inject_super_spreader(t, 7, 200, 0, rng);
+  std::unordered_set<uint32_t> dips;
+  for (const Packet& p : t.packets) dips.insert(p.dip());
+  EXPECT_EQ(dips.size(), 200u);
+}
+
+TEST(Attacks, SshBruteUsesCompletedConnsOnPort22) {
+  std::mt19937 rng(9);
+  Trace t;
+  inject_ssh_brute(t, 1, 2, 10, 0, rng);
+  std::size_t syns = 0;
+  for (const Packet& p : t.packets) {
+    if (p.tcp_flags() == kTcpSyn) {
+      ++syns;
+      EXPECT_EQ(p.dport(), 22u);
+    }
+  }
+  EXPECT_EQ(syns, 10u);
+}
+
+TEST(Attacks, DnsNoTcpHasQueryAndResponse) {
+  std::mt19937 rng(9);
+  Trace t;
+  const uint32_t host = 100, resolver = 200;
+  inject_dns_no_tcp(t, host, resolver, 5, 0, rng);
+  ASSERT_EQ(t.size(), 10u);
+  std::size_t responses = 0;
+  for (const Packet& p : t.packets)
+    if (p.sport() == 53 && p.dip() == host) ++responses;
+  EXPECT_EQ(responses, 5u);
+}
+
+TEST(Attacks, UdpFloodVolume) {
+  std::mt19937 rng(9);
+  Trace t;
+  const auto info = inject_udp_flood(t, 1, 30, 10, 0, rng);
+  EXPECT_EQ(info.packets_injected, 300u);
+  for (const Packet& p : t.packets) EXPECT_TRUE(p.is_udp());
+}
+
+TEST(Attacks, SlowlorisManyConnsFewBytes) {
+  std::mt19937 rng(9);
+  Trace t;
+  inject_slowloris(t, 1, 2, 40, 0, rng);
+  std::unordered_set<uint32_t> sports;
+  uint64_t bytes = 0;
+  for (const Packet& p : t.packets) {
+    if (p.sip() == 1 && p.tcp_flags() == kTcpSyn) sports.insert(p.sport());
+    bytes += p.get(Field::PktLen);
+  }
+  EXPECT_EQ(sports.size(), 40u);
+  EXPECT_LT(bytes / 40, 3'000u);  // tiny per-connection byte count
+}
+
+}  // namespace
+}  // namespace newton
