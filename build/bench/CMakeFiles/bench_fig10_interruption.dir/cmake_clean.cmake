@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_interruption.dir/bench_fig10_interruption.cpp.o"
+  "CMakeFiles/bench_fig10_interruption.dir/bench_fig10_interruption.cpp.o.d"
+  "bench_fig10_interruption"
+  "bench_fig10_interruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_interruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

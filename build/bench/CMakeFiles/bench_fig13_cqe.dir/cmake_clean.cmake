@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cqe.dir/bench_fig13_cqe.cpp.o"
+  "CMakeFiles/bench_fig13_cqe.dir/bench_fig13_cqe.cpp.o.d"
+  "bench_fig13_cqe"
+  "bench_fig13_cqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

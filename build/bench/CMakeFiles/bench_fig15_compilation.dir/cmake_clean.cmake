@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_compilation.dir/bench_fig15_compilation.cpp.o"
+  "CMakeFiles/bench_fig15_compilation.dir/bench_fig15_compilation.cpp.o.d"
+  "bench_fig15_compilation"
+  "bench_fig15_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_refinement.cpp" "bench/CMakeFiles/bench_refinement.dir/bench_refinement.cpp.o" "gcc" "bench/CMakeFiles/bench_refinement.dir/bench_refinement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/newton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/newton_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/newton_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/newton_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/newton_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/newton_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/newton_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/newton_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

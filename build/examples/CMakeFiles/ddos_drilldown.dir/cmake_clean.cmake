@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_drilldown.dir/ddos_drilldown.cpp.o"
+  "CMakeFiles/ddos_drilldown.dir/ddos_drilldown.cpp.o.d"
+  "ddos_drilldown"
+  "ddos_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

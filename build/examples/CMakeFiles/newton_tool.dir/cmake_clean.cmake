@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_tool.dir/newton_tool.cpp.o"
+  "CMakeFiles/newton_tool.dir/newton_tool.cpp.o.d"
+  "newton_tool"
+  "newton_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_analyzer.dir/analyzer.cpp.o"
+  "CMakeFiles/newton_analyzer.dir/analyzer.cpp.o.d"
+  "CMakeFiles/newton_analyzer.dir/deferred.cpp.o"
+  "CMakeFiles/newton_analyzer.dir/deferred.cpp.o.d"
+  "CMakeFiles/newton_analyzer.dir/ground_truth.cpp.o"
+  "CMakeFiles/newton_analyzer.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/newton_analyzer.dir/metrics.cpp.o"
+  "CMakeFiles/newton_analyzer.dir/metrics.cpp.o.d"
+  "libnewton_analyzer.a"
+  "libnewton_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/export_model.cpp" "src/baselines/CMakeFiles/newton_baselines.dir/export_model.cpp.o" "gcc" "src/baselines/CMakeFiles/newton_baselines.dir/export_model.cpp.o.d"
+  "/root/repo/src/baselines/sonata.cpp" "src/baselines/CMakeFiles/newton_baselines.dir/sonata.cpp.o" "gcc" "src/baselines/CMakeFiles/newton_baselines.dir/sonata.cpp.o.d"
+  "/root/repo/src/baselines/sonata_refinement.cpp" "src/baselines/CMakeFiles/newton_baselines.dir/sonata_refinement.cpp.o" "gcc" "src/baselines/CMakeFiles/newton_baselines.dir/sonata_refinement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/newton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/newton_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/newton_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/newton_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/newton_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_baselines.dir/export_model.cpp.o"
+  "CMakeFiles/newton_baselines.dir/export_model.cpp.o.d"
+  "CMakeFiles/newton_baselines.dir/sonata.cpp.o"
+  "CMakeFiles/newton_baselines.dir/sonata.cpp.o.d"
+  "CMakeFiles/newton_baselines.dir/sonata_refinement.cpp.o"
+  "CMakeFiles/newton_baselines.dir/sonata_refinement.cpp.o.d"
+  "libnewton_baselines.a"
+  "libnewton_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

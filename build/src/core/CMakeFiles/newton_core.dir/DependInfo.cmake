@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compose.cpp" "src/core/CMakeFiles/newton_core.dir/compose.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/compose.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/newton_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/cqe.cpp" "src/core/CMakeFiles/newton_core.dir/cqe.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/cqe.cpp.o.d"
+  "/root/repo/src/core/decompose.cpp" "src/core/CMakeFiles/newton_core.dir/decompose.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/decompose.cpp.o.d"
+  "/root/repo/src/core/dump.cpp" "src/core/CMakeFiles/newton_core.dir/dump.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/dump.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/core/CMakeFiles/newton_core.dir/layout.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/layout.cpp.o.d"
+  "/root/repo/src/core/modules.cpp" "src/core/CMakeFiles/newton_core.dir/modules.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/modules.cpp.o.d"
+  "/root/repo/src/core/newton_switch.cpp" "src/core/CMakeFiles/newton_core.dir/newton_switch.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/newton_switch.cpp.o.d"
+  "/root/repo/src/core/p4gen.cpp" "src/core/CMakeFiles/newton_core.dir/p4gen.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/p4gen.cpp.o.d"
+  "/root/repo/src/core/parse_query.cpp" "src/core/CMakeFiles/newton_core.dir/parse_query.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/parse_query.cpp.o.d"
+  "/root/repo/src/core/queries.cpp" "src/core/CMakeFiles/newton_core.dir/queries.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/queries.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/core/CMakeFiles/newton_core.dir/query.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/query.cpp.o.d"
+  "/root/repo/src/core/range_alloc.cpp" "src/core/CMakeFiles/newton_core.dir/range_alloc.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/range_alloc.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/newton_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/newton_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/newton_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/newton_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/newton_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_core.dir/compose.cpp.o"
+  "CMakeFiles/newton_core.dir/compose.cpp.o.d"
+  "CMakeFiles/newton_core.dir/controller.cpp.o"
+  "CMakeFiles/newton_core.dir/controller.cpp.o.d"
+  "CMakeFiles/newton_core.dir/cqe.cpp.o"
+  "CMakeFiles/newton_core.dir/cqe.cpp.o.d"
+  "CMakeFiles/newton_core.dir/decompose.cpp.o"
+  "CMakeFiles/newton_core.dir/decompose.cpp.o.d"
+  "CMakeFiles/newton_core.dir/dump.cpp.o"
+  "CMakeFiles/newton_core.dir/dump.cpp.o.d"
+  "CMakeFiles/newton_core.dir/layout.cpp.o"
+  "CMakeFiles/newton_core.dir/layout.cpp.o.d"
+  "CMakeFiles/newton_core.dir/modules.cpp.o"
+  "CMakeFiles/newton_core.dir/modules.cpp.o.d"
+  "CMakeFiles/newton_core.dir/newton_switch.cpp.o"
+  "CMakeFiles/newton_core.dir/newton_switch.cpp.o.d"
+  "CMakeFiles/newton_core.dir/p4gen.cpp.o"
+  "CMakeFiles/newton_core.dir/p4gen.cpp.o.d"
+  "CMakeFiles/newton_core.dir/parse_query.cpp.o"
+  "CMakeFiles/newton_core.dir/parse_query.cpp.o.d"
+  "CMakeFiles/newton_core.dir/queries.cpp.o"
+  "CMakeFiles/newton_core.dir/queries.cpp.o.d"
+  "CMakeFiles/newton_core.dir/query.cpp.o"
+  "CMakeFiles/newton_core.dir/query.cpp.o.d"
+  "CMakeFiles/newton_core.dir/range_alloc.cpp.o"
+  "CMakeFiles/newton_core.dir/range_alloc.cpp.o.d"
+  "CMakeFiles/newton_core.dir/scheduler.cpp.o"
+  "CMakeFiles/newton_core.dir/scheduler.cpp.o.d"
+  "libnewton_core.a"
+  "libnewton_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/forwarding.cpp" "src/dataplane/CMakeFiles/newton_dataplane.dir/forwarding.cpp.o" "gcc" "src/dataplane/CMakeFiles/newton_dataplane.dir/forwarding.cpp.o.d"
+  "/root/repo/src/dataplane/pipeline.cpp" "src/dataplane/CMakeFiles/newton_dataplane.dir/pipeline.cpp.o" "gcc" "src/dataplane/CMakeFiles/newton_dataplane.dir/pipeline.cpp.o.d"
+  "/root/repo/src/dataplane/register_array.cpp" "src/dataplane/CMakeFiles/newton_dataplane.dir/register_array.cpp.o" "gcc" "src/dataplane/CMakeFiles/newton_dataplane.dir/register_array.cpp.o.d"
+  "/root/repo/src/dataplane/resources.cpp" "src/dataplane/CMakeFiles/newton_dataplane.dir/resources.cpp.o" "gcc" "src/dataplane/CMakeFiles/newton_dataplane.dir/resources.cpp.o.d"
+  "/root/repo/src/dataplane/rule_latency.cpp" "src/dataplane/CMakeFiles/newton_dataplane.dir/rule_latency.cpp.o" "gcc" "src/dataplane/CMakeFiles/newton_dataplane.dir/rule_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/newton_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/newton_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

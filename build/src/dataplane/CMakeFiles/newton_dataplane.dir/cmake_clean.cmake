@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_dataplane.dir/forwarding.cpp.o"
+  "CMakeFiles/newton_dataplane.dir/forwarding.cpp.o.d"
+  "CMakeFiles/newton_dataplane.dir/pipeline.cpp.o"
+  "CMakeFiles/newton_dataplane.dir/pipeline.cpp.o.d"
+  "CMakeFiles/newton_dataplane.dir/register_array.cpp.o"
+  "CMakeFiles/newton_dataplane.dir/register_array.cpp.o.d"
+  "CMakeFiles/newton_dataplane.dir/resources.cpp.o"
+  "CMakeFiles/newton_dataplane.dir/resources.cpp.o.d"
+  "CMakeFiles/newton_dataplane.dir/rule_latency.cpp.o"
+  "CMakeFiles/newton_dataplane.dir/rule_latency.cpp.o.d"
+  "libnewton_dataplane.a"
+  "libnewton_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

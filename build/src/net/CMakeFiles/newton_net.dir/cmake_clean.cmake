@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_net.dir/net_controller.cpp.o"
+  "CMakeFiles/newton_net.dir/net_controller.cpp.o.d"
+  "CMakeFiles/newton_net.dir/network.cpp.o"
+  "CMakeFiles/newton_net.dir/network.cpp.o.d"
+  "CMakeFiles/newton_net.dir/placement.cpp.o"
+  "CMakeFiles/newton_net.dir/placement.cpp.o.d"
+  "CMakeFiles/newton_net.dir/routing.cpp.o"
+  "CMakeFiles/newton_net.dir/routing.cpp.o.d"
+  "CMakeFiles/newton_net.dir/topology.cpp.o"
+  "CMakeFiles/newton_net.dir/topology.cpp.o.d"
+  "libnewton_net.a"
+  "libnewton_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnewton_net.a"
+)

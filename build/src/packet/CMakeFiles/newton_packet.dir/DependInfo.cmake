@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/packet.cpp" "src/packet/CMakeFiles/newton_packet.dir/packet.cpp.o" "gcc" "src/packet/CMakeFiles/newton_packet.dir/packet.cpp.o.d"
+  "/root/repo/src/packet/sp_header.cpp" "src/packet/CMakeFiles/newton_packet.dir/sp_header.cpp.o" "gcc" "src/packet/CMakeFiles/newton_packet.dir/sp_header.cpp.o.d"
+  "/root/repo/src/packet/wire.cpp" "src/packet/CMakeFiles/newton_packet.dir/wire.cpp.o" "gcc" "src/packet/CMakeFiles/newton_packet.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_packet.dir/packet.cpp.o"
+  "CMakeFiles/newton_packet.dir/packet.cpp.o.d"
+  "CMakeFiles/newton_packet.dir/sp_header.cpp.o"
+  "CMakeFiles/newton_packet.dir/sp_header.cpp.o.d"
+  "CMakeFiles/newton_packet.dir/wire.cpp.o"
+  "CMakeFiles/newton_packet.dir/wire.cpp.o.d"
+  "libnewton_packet.a"
+  "libnewton_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/bloom.cpp" "src/sketch/CMakeFiles/newton_sketch.dir/bloom.cpp.o" "gcc" "src/sketch/CMakeFiles/newton_sketch.dir/bloom.cpp.o.d"
+  "/root/repo/src/sketch/count_min.cpp" "src/sketch/CMakeFiles/newton_sketch.dir/count_min.cpp.o" "gcc" "src/sketch/CMakeFiles/newton_sketch.dir/count_min.cpp.o.d"
+  "/root/repo/src/sketch/estimator.cpp" "src/sketch/CMakeFiles/newton_sketch.dir/estimator.cpp.o" "gcc" "src/sketch/CMakeFiles/newton_sketch.dir/estimator.cpp.o.d"
+  "/root/repo/src/sketch/hash.cpp" "src/sketch/CMakeFiles/newton_sketch.dir/hash.cpp.o" "gcc" "src/sketch/CMakeFiles/newton_sketch.dir/hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

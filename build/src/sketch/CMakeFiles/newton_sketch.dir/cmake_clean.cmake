@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_sketch.dir/bloom.cpp.o"
+  "CMakeFiles/newton_sketch.dir/bloom.cpp.o.d"
+  "CMakeFiles/newton_sketch.dir/count_min.cpp.o"
+  "CMakeFiles/newton_sketch.dir/count_min.cpp.o.d"
+  "CMakeFiles/newton_sketch.dir/estimator.cpp.o"
+  "CMakeFiles/newton_sketch.dir/estimator.cpp.o.d"
+  "CMakeFiles/newton_sketch.dir/hash.cpp.o"
+  "CMakeFiles/newton_sketch.dir/hash.cpp.o.d"
+  "libnewton_sketch.a"
+  "libnewton_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

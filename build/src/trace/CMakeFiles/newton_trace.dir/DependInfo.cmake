@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/attacks.cpp" "src/trace/CMakeFiles/newton_trace.dir/attacks.cpp.o" "gcc" "src/trace/CMakeFiles/newton_trace.dir/attacks.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/trace/CMakeFiles/newton_trace.dir/pcap.cpp.o" "gcc" "src/trace/CMakeFiles/newton_trace.dir/pcap.cpp.o.d"
+  "/root/repo/src/trace/trace_gen.cpp" "src/trace/CMakeFiles/newton_trace.dir/trace_gen.cpp.o" "gcc" "src/trace/CMakeFiles/newton_trace.dir/trace_gen.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/newton_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/newton_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/zipf.cpp" "src/trace/CMakeFiles/newton_trace.dir/zipf.cpp.o" "gcc" "src/trace/CMakeFiles/newton_trace.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/newton_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_trace.dir/attacks.cpp.o"
+  "CMakeFiles/newton_trace.dir/attacks.cpp.o.d"
+  "CMakeFiles/newton_trace.dir/pcap.cpp.o"
+  "CMakeFiles/newton_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/newton_trace.dir/trace_gen.cpp.o"
+  "CMakeFiles/newton_trace.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/newton_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/newton_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/newton_trace.dir/zipf.cpp.o"
+  "CMakeFiles/newton_trace.dir/zipf.cpp.o.d"
+  "libnewton_trace.a"
+  "libnewton_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

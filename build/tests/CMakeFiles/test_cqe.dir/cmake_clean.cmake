@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cqe.dir/test_cqe.cpp.o"
+  "CMakeFiles/test_cqe.dir/test_cqe.cpp.o.d"
+  "test_cqe"
+  "test_cqe.pdb"
+  "test_cqe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_compile.dir/test_fuzz_compile.cpp.o"
+  "CMakeFiles/test_fuzz_compile.dir/test_fuzz_compile.cpp.o.d"
+  "test_fuzz_compile"
+  "test_fuzz_compile.pdb"
+  "test_fuzz_compile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hygiene.dir/test_hygiene.cpp.o"
+  "CMakeFiles/test_hygiene.dir/test_hygiene.cpp.o.d"
+  "test_hygiene"
+  "test_hygiene.pdb"
+  "test_hygiene[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hygiene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

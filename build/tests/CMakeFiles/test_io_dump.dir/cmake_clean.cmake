@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_dump.dir/test_io_dump.cpp.o"
+  "CMakeFiles/test_io_dump.dir/test_io_dump.cpp.o.d"
+  "test_io_dump"
+  "test_io_dump.pdb"
+  "test_io_dump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_fattree.dir/test_net_fattree.cpp.o"
+  "CMakeFiles/test_net_fattree.dir/test_net_fattree.cpp.o.d"
+  "test_net_fattree"
+  "test_net_fattree.pdb"
+  "test_net_fattree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

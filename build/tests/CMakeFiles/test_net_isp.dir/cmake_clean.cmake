@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_isp.dir/test_net_isp.cpp.o"
+  "CMakeFiles/test_net_isp.dir/test_net_isp.cpp.o.d"
+  "test_net_isp"
+  "test_net_isp.pdb"
+  "test_net_isp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

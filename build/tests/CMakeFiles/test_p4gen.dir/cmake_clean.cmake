@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4gen.dir/test_p4gen.cpp.o"
+  "CMakeFiles/test_p4gen.dir/test_p4gen.cpp.o.d"
+  "test_p4gen"
+  "test_p4gen.pdb"
+  "test_p4gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantics_edges.dir/test_semantics_edges.cpp.o"
+  "CMakeFiles/test_semantics_edges.dir/test_semantics_edges.cpp.o.d"
+  "test_semantics_edges"
+  "test_semantics_edges.pdb"
+  "test_semantics_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantics_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
