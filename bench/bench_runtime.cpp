@@ -1,0 +1,187 @@
+// Sharded-runtime throughput: packets/sec vs. shard count on a ~1M-packet
+// trace, with q1/q3/q5 installed and 5-tuple flow sharding.
+//
+// Two metrics per shard count:
+//   wall_pps   packets / wall-clock ns of the run.  On a single-core host
+//              all threads serialize, so this stays roughly flat.
+//   model_pps  packets / critical-path CPU ns, where the critical path is
+//              max(demux thread CPU, busiest worker CPU).  With one core
+//              per thread this is the wall-clock the architecture achieves,
+//              so the shard-scaling claim is made on this metric and the
+//              host core count is recorded in the JSON.
+//
+// Writes BENCH_runtime.json next to the working directory.
+#include <cstdio>
+#include <ctime>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/controller.h"
+#include "core/newton_switch.h"
+#include "core/queries.h"
+#include "runtime/sharded_runtime.h"
+
+namespace newton {
+namespace {
+
+uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+uint64_t wall_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Tile the base trace in time until it holds `target` packets, then trim.
+Trace tile_to(Trace base, std::size_t target) {
+  const uint64_t period = base.duration_ns() + 1'000'000;  // 1ms guard gap
+  const std::size_t base_n = base.size();
+  Trace out = std::move(base);
+  out.packets.reserve(target);
+  for (uint64_t k = 1; out.size() < target; ++k) {
+    for (std::size_t i = 0; i < base_n && out.size() < target; ++i) {
+      Packet p = out.packets[i];
+      p.ts_ns += k * period;
+      out.packets.push_back(p);
+    }
+  }
+  out.packets.resize(target);
+  return out;
+}
+
+struct Sample {
+  std::size_t shards = 0;
+  uint64_t wall = 0;
+  uint64_t demux_cpu = 0;
+  uint64_t max_worker_cpu = 0;
+  std::vector<uint64_t> worker_cpu;
+  uint64_t stalls = 0;
+  uint64_t reports = 0;
+  double wall_pps = 0.0;
+  double model_pps = 0.0;
+};
+
+Sample run_one(const Trace& t, std::size_t shards) {
+  NewtonSwitch sw(1, 24, nullptr);
+  RuntimeOptions o;
+  o.num_shards = shards;
+  o.queue_capacity = 8192;
+  o.record_snapshots = false;  // measuring the data path, not the observer
+  ShardedRuntime rt(sw, o);
+  QueryParams p;
+  rt.install(make_q1(p));
+  rt.install(make_q3(p));
+  rt.install(make_q5(p));
+
+  const uint64_t w0 = wall_ns();
+  const uint64_t c0 = thread_cpu_ns();
+  rt.run(t);
+  rt.finish();
+  const uint64_t c1 = thread_cpu_ns();
+  const uint64_t w1 = wall_ns();
+
+  Sample s;
+  s.shards = shards;
+  s.wall = w1 - w0;
+  s.demux_cpu = c1 - c0;
+  const RuntimeStats& st = rt.stats();
+  for (const WorkerStats& ws : st.workers) {
+    s.worker_cpu.push_back(ws.busy_ns);
+    if (ws.busy_ns > s.max_worker_cpu) s.max_worker_cpu = ws.busy_ns;
+  }
+  s.stalls = st.backpressure_stalls;
+  s.reports = st.reports;
+  const double n = static_cast<double>(t.size());
+  s.wall_pps = n * 1e9 / static_cast<double>(s.wall);
+  const uint64_t crit = std::max(s.demux_cpu, s.max_worker_cpu);
+  s.model_pps = n * 1e9 / static_cast<double>(crit);
+  return s;
+}
+
+}  // namespace
+}  // namespace newton
+
+int main() {
+  using namespace newton;
+  bench::header("Sharded runtime throughput vs. shard count");
+
+  const std::size_t target = bench::full_scale() ? 4'000'000 : 1'000'000;
+  TraceProfile prof = caida_like(7);
+  prof.num_flows = 30'000;
+  Trace base = generate_trace(prof);
+  std::mt19937 rng(1007);
+  inject_syn_flood(base, ipv4(172, 16, 200, 1), 300, 1, 50'000'000, rng);
+  inject_udp_flood(base, ipv4(172, 16, 200, 3), 120, 2, 250'000'000, rng);
+  inject_super_spreader(base, ipv4(198, 18, 4, 4), 150, 550'000'000, rng);
+  base.sort_by_time();
+  const Trace t = tile_to(std::move(base), target);
+  std::printf("trace: %zu packets, %.2fs span, host cores: %u\n", t.size(),
+              static_cast<double>(t.duration_ns()) / 1e9,
+              std::thread::hardware_concurrency());
+
+  std::vector<Sample> samples;
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    Sample s = run_one(t, n);
+    std::printf(
+        "shards=%zu  wall=%7.1f ms  wall_pps=%9.0f  model_pps=%9.0f  "
+        "demux_cpu=%6.1f ms  max_worker_cpu=%6.1f ms  stalls=%llu\n",
+        s.shards, s.wall / 1e6, s.wall_pps, s.model_pps, s.demux_cpu / 1e6,
+        s.max_worker_cpu / 1e6, static_cast<unsigned long long>(s.stalls));
+    samples.push_back(std::move(s));
+  }
+  bench::row_sep();
+
+  const Sample& s1 = samples[0];
+  const Sample& s4 = samples[2];
+  const double speedup_model = s4.model_pps / s1.model_pps;
+  const double speedup_wall = s4.wall_pps / s1.wall_pps;
+  std::printf("4-shard speedup: model %.2fx, wall %.2fx\n", speedup_model,
+              speedup_wall);
+
+  FILE* f = std::fopen("BENCH_runtime.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_runtime.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"sharded_runtime\",\n");
+  std::fprintf(f, "  \"packets\": %zu,\n", t.size());
+  std::fprintf(f, "  \"queries\": [\"q1_new_tcp\", \"q3_super_spreader\", "
+                  "\"q5_udp_ddos\"],\n");
+  std::fprintf(f, "  \"shard_key\": \"five_tuple\",\n");
+  std::fprintf(f, "  \"host_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"metric_note\": \"model_pps = packets / "
+                  "max(demux_cpu, busiest worker_cpu); equals wall-clock "
+                  "throughput when each thread has its own core\",\n");
+  std::fprintf(f, "  \"shards\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f, "    {\"n\": %zu, \"wall_ns\": %llu, \"wall_pps\": %.0f, "
+                    "\"model_pps\": %.0f, \"demux_cpu_ns\": %llu, "
+                    "\"worker_cpu_ns\": [",
+                 s.shards, static_cast<unsigned long long>(s.wall), s.wall_pps,
+                 s.model_pps, static_cast<unsigned long long>(s.demux_cpu));
+    for (std::size_t j = 0; j < s.worker_cpu.size(); ++j)
+      std::fprintf(f, "%s%llu", j ? ", " : "",
+                   static_cast<unsigned long long>(s.worker_cpu[j]));
+    std::fprintf(f, "], \"backpressure_stalls\": %llu, \"reports\": %llu}%s\n",
+                 static_cast<unsigned long long>(s.stalls),
+                 static_cast<unsigned long long>(s.reports),
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_model_4shard\": %.3f,\n", speedup_model);
+  std::fprintf(f, "  \"speedup_wall_4shard\": %.3f\n", speedup_wall);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_runtime.json\n");
+  return 0;
+}

@@ -20,6 +20,7 @@ std::size_t Controller::chain_min_stage(const Query& q) const {
 }
 
 Controller::OpStats Controller::install(const Query& q, CompileOptions opts) {
+  if (mutation_guard_) mutation_guard_();
   if (queries_.contains(q.name))
     throw std::invalid_argument("Controller: query already installed: " +
                                 q.name);
@@ -27,10 +28,11 @@ Controller::OpStats Controller::install(const Query& q, CompileOptions opts) {
   CompiledQuery cq = compile_query(q, opts);
   const auto res = sw_.install(cq);
   queries_[q.name] = {res.handle, std::move(cq)};
-  return {res.latency_ms, res.rule_ops};
+  return {res.latency_ms, res.rule_ops, res.qids};
 }
 
 Controller::OpStats Controller::remove(const std::string& name) {
+  if (mutation_guard_) mutation_guard_();
   auto it = queries_.find(name);
   if (it == queries_.end())
     throw std::invalid_argument("Controller: unknown query: " + name);
@@ -38,7 +40,7 @@ Controller::OpStats Controller::remove(const std::string& name) {
   const std::size_t ops = cq.num_table_entries();
   const double ms = sw_.remove(it->second.handle);
   queries_.erase(it);
-  return {ms, ops};
+  return {ms, ops, {}};
 }
 
 Controller::OpStats Controller::update(const std::string& name,
@@ -49,8 +51,8 @@ Controller::OpStats Controller::update(const std::string& name,
   q.name = name;
   const OpStats ins = install(q, opts);
   // One controller->switch batch: overheads amortize.
-  return {rm.latency_ms + ins.latency_ms - 1.0,
-          rm.rule_ops + ins.rule_ops};
+  return {rm.latency_ms + ins.latency_ms - 1.0, rm.rule_ops + ins.rule_ops,
+          ins.qids};
 }
 
 const CompiledQuery* Controller::compiled(const std::string& name) const {

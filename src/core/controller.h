@@ -8,8 +8,10 @@
 // Network-wide deployment (Algorithm 2 + CQE) lives in src/net.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/newton_switch.h"
 #include "core/queries.h"
@@ -23,6 +25,9 @@ class Controller {
   struct OpStats {
     double latency_ms = 0;
     std::size_t rule_ops = 0;
+    // Switch-local qids assigned to the installed branches (empty for
+    // remove).  Callers use these to register analyzer mappings.
+    std::vector<uint16_t> qids;
   };
 
   // Compile and install; throws if the switch cannot host the query.
@@ -42,6 +47,15 @@ class Controller {
   const CompiledQuery* compiled(const std::string& name) const;
   std::size_t num_installed() const { return queries_.size(); }
 
+  // Quiesce hook: invoked before every mutating operation (install, remove,
+  // update).  An execution runtime that replicates this switch's pipeline
+  // (src/runtime/) installs a guard that rejects mutation while packets are
+  // in flight mid-window — rule changes must instead be queued and applied
+  // at a window barrier, where all replicas are quiesced and re-synced.
+  void set_mutation_guard(std::function<void()> guard) {
+    mutation_guard_ = std::move(guard);
+  }
+
  private:
   struct Entry {
     uint64_t handle;
@@ -54,6 +68,7 @@ class Controller {
 
   NewtonSwitch& sw_;
   std::map<std::string, Entry> queries_;
+  std::function<void()> mutation_guard_;
 };
 
 }  // namespace newton

@@ -38,6 +38,9 @@ class KModule : public TableProgram {
   void execute(Phv& phv) override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
+  std::shared_ptr<TableProgram> clone() const override {
+    return std::make_shared<KModule>(*this);
+  }
   ConfigTable<KConfig>& table() { return table_; }
   const ConfigTable<KConfig>& table() const { return table_; }
 
@@ -52,6 +55,9 @@ class HModule : public TableProgram {
   void execute(Phv& phv) override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
+  std::shared_ptr<TableProgram> clone() const override {
+    return std::make_shared<HModule>(*this);
+  }
   ConfigTable<HConfig>& table() { return table_; }
 
  private:
@@ -66,6 +72,11 @@ class SModule : public TableProgram {
   void execute(Phv& phv) override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
+  // Clones duplicate the full register bank: each replica accumulates its
+  // shard's state privately and is merged at window boundaries.
+  std::shared_ptr<TableProgram> clone() const override {
+    return std::make_shared<SModule>(*this);
+  }
   ConfigTable<SConfig>& table() { return table_; }
   RegisterArray& registers() { return regs_; }
   const RegisterArray& registers() const { return regs_; }
@@ -84,6 +95,11 @@ class RModule : public TableProgram {
   void execute(Phv& phv) override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
+  // The sink pointer is carried over; a per-worker replica rebinds it to a
+  // private buffer via set_sink.
+  std::shared_ptr<TableProgram> clone() const override {
+    return std::make_shared<RModule>(*this);
+  }
   ConfigTable<RConfig>& table() { return table_; }
   void set_sink(ReportSink* sink) { sink_ = sink; }
 
@@ -114,6 +130,9 @@ class InitModule : public TableProgram {
   void execute(Phv& phv) override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
+  std::shared_ptr<TableProgram> clone() const override {
+    return std::make_shared<InitModule>(*this);
+  }
   TernaryTable<Action>& table() { return table_; }
 
   // Build the 7-word ternary key

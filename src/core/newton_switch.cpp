@@ -85,8 +85,8 @@ NewtonSwitch::InstallResult NewtonSwitch::install_impl(
     // 2. Register ranges for stateful S modules.  Each S rule carries its
     // partition width from decomposition; the allocated base becomes the
     // rule's local index_base.
-    for (auto& b : q.branches) {
-      for (ModuleSpec& m : b.modules) {
+    for (std::size_t bi = 0; bi < q.branches.size(); ++bi) {
+      for (ModuleSpec& m : q.branches[bi].modules) {
         if (m.type != ModuleType::S || m.s.bypass || m.alloc_width == 0)
           continue;
         if (resolve_offsets) {
@@ -104,6 +104,9 @@ NewtonSwitch::InstallResult NewtonSwitch::install_impl(
               {static_cast<std::size_t>(m.stage), m.alloc_offset});
         }
         m.s.index_base = m.alloc_offset;
+        rec.segments.push_back({static_cast<std::size_t>(m.stage),
+                                m.alloc_offset, m.alloc_width, m.s.op,
+                                rec.qids[bi]});
         // Sweep the range clean: it may hold a removed query's state.
         inst_.s[m.stage]->registers().clear_range(m.alloc_offset,
                                                   m.alloc_width);
@@ -280,6 +283,13 @@ NewtonSwitch::Output NewtonSwitch::process(const Packet& pkt,
       out.sp_out = sp;
     }
   }
+  return out;
+}
+
+std::vector<NewtonSwitch::StateSegment> NewtonSwitch::state_segments() const {
+  std::vector<StateSegment> out;
+  for (const auto& [h, rec] : installs_)
+    out.insert(out.end(), rec.segments.begin(), rec.segments.end());
   return out;
 }
 

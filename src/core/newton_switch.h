@@ -69,6 +69,20 @@ class NewtonSwitch {
   void set_window_ns(uint64_t w) { window_ns_ = w; }
   void reset_state();
 
+  // One allocated stateful register slice of an installed query: where it
+  // lives, which SALU op writes it, and which branch (qid) owns it.  The
+  // sharded runtime uses this as the merge plan when it folds per-worker
+  // bank replicas back together at a window boundary (Add-written slices
+  // merge by sum, Or-written by or, Write by max).
+  struct StateSegment {
+    std::size_t stage = 0;
+    std::size_t offset = 0;
+    std::size_t width = 0;
+    SaluOp op = SaluOp::Add;
+    uint16_t qid = 0;
+  };
+  std::vector<StateSegment> state_segments() const;
+
   // --- introspection ---
   uint32_t id() const { return id_; }
   std::size_t num_stages() const { return pipeline_.num_stages(); }
@@ -84,6 +98,9 @@ class NewtonSwitch {
   ResourceVec used_resources() const { return pipeline_.total_used(); }
   void set_sink(ReportSink* sink);
   InitModule& init_table() { return *init_; }
+  const InitModule& init_table() const { return *init_; }
+  const Pipeline& pipeline() const { return pipeline_; }
+  uint64_t window_ns() const { return window_ns_; }
   const ModuleInstances& modules() const { return inst_; }
   RegisterArray& bank(std::size_t stage) {
     return inst_.s[stage]->registers();
@@ -105,6 +122,7 @@ class NewtonSwitch {
     std::vector<std::pair<int, ModuleType>> rule_slots;  // (stage, type) per qid-rule
     std::vector<std::pair<std::size_t, std::size_t>> allocs;  // (stage, offset)
     std::vector<uint16_t> rule_qids;  // parallel to rule_slots
+    std::vector<StateSegment> segments;  // allocated stateful slices
     std::optional<uint64_t> slice_rt_key;
   };
 

@@ -22,4 +22,17 @@ ResourceVec Pipeline::total_used() const {
   return r;
 }
 
+Stage Stage::clone() const {
+  Stage c;
+  for (const auto& t : tables_) c.tables_.push_back(t->clone());
+  return c;
+}
+
+Pipeline Pipeline::clone() const {
+  Pipeline c(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i)
+    c.stages_[i] = stages_[i].clone();
+  return c;
+}
+
 }  // namespace newton

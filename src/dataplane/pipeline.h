@@ -32,6 +32,10 @@ class Stage {
   }
   ResourceVec used() const;
 
+  // Deep copy (clones every table); capacity re-checks trivially hold since
+  // the clone has the identical footprint.
+  Stage clone() const;
+
  private:
   std::vector<std::shared_ptr<TableProgram>> tables_;
 };
@@ -51,6 +55,11 @@ class Pipeline {
   }
 
   ResourceVec total_used() const;
+
+  // Deep copy of the whole pipeline: every table (rules, configs, register
+  // banks) is duplicated, so the replica can execute packets concurrently
+  // with the original without sharing any mutable state.
+  Pipeline clone() const;
 
  private:
   std::vector<Stage> stages_;

@@ -36,4 +36,27 @@ void RegisterArray::clear_range(std::size_t offset, std::size_t width) {
             regs_.begin() + static_cast<long>(end), 0);
 }
 
+void RegisterArray::merge_from(const RegisterArray& other, MergeOp op) {
+  if (other.regs_.size() != regs_.size())
+    throw std::invalid_argument("RegisterArray::merge_from: size mismatch");
+  merge_range_from(other, 0, regs_.size(), op);
+}
+
+void RegisterArray::merge_range_from(const RegisterArray& other,
+                                     std::size_t offset, std::size_t width,
+                                     MergeOp op) {
+  if (other.regs_.size() != regs_.size())
+    throw std::invalid_argument(
+        "RegisterArray::merge_range_from: size mismatch");
+  if (offset >= regs_.size()) return;
+  const std::size_t end = std::min(regs_.size(), offset + width);
+  for (std::size_t i = offset; i < end; ++i) {
+    switch (op) {
+      case MergeOp::Add: regs_[i] += other.regs_[i]; break;
+      case MergeOp::Or: regs_[i] |= other.regs_[i]; break;
+      case MergeOp::Max: regs_[i] = std::max(regs_[i], other.regs_[i]); break;
+    }
+  }
+}
+
 }  // namespace newton

@@ -19,6 +19,15 @@ namespace newton {
 
 enum class SaluOp : uint8_t { Read, Write, Add, Or };
 
+// How two replicas of the same bank range combine when per-worker shards
+// are folded back together at a window boundary (src/runtime/):
+//   Add -> element-wise sum   (count-min rows: total increments are additive)
+//   Or  -> element-wise or    (bloom rows: membership union)
+//   Max -> element-wise max   (write/reduce banks; exact under key-affine
+//                              sharding, where each register is only ever
+//                              written by one shard)
+enum class MergeOp : uint8_t { Add, Or, Max };
+
 class RegisterArray {
  public:
   explicit RegisterArray(std::size_t size) : regs_(size, 0) {
@@ -36,6 +45,14 @@ class RegisterArray {
   // Zero one range (control plane sweeps a freshly allocated query slice so
   // no stale state from a removed query leaks into a new one).
   void clear_range(std::size_t offset, std::size_t width);
+
+  // Fold `other` into this array element-wise; sizes must match.
+  void merge_from(const RegisterArray& other, MergeOp op);
+  // Range-restricted merge (clamped at the end like clear_range; an offset
+  // past the end is a no-op).  Used by the sharded runtime to combine only
+  // the register slices actually allocated to queries.
+  void merge_range_from(const RegisterArray& other, std::size_t offset,
+                        std::size_t width, MergeOp op);
 
   std::size_t size() const { return regs_.size(); }
 

@@ -4,6 +4,7 @@
 // resource footprints.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "dataplane/phv.h"
@@ -22,6 +23,13 @@ class TableProgram {
   virtual ResourceVec resources() const = 0;
 
   virtual std::string name() const = 0;
+
+  // Deep copy: rules, configs and register state are duplicated so the
+  // clone shares no mutable state with the original.  Non-owned environment
+  // pointers (e.g. a report sink) are carried over as-is; callers that need
+  // a private sink rebind it on the clone.  This is what lets a sharded
+  // runtime replicate a pipeline per worker (src/runtime/).
+  virtual std::shared_ptr<TableProgram> clone() const = 0;
 };
 
 }  // namespace newton

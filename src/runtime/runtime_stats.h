@@ -1,0 +1,24 @@
+// Throughput / backpressure / drop counters exposed by the sharded runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace newton {
+
+struct WorkerStats {
+  uint64_t packets = 0;   // packets this worker executed
+  uint64_t reports = 0;   // reports it emitted (drained at barriers)
+  uint64_t busy_ns = 0;   // thread CPU time consumed so far
+};
+
+struct RuntimeStats {
+  uint64_t packets_in = 0;            // packets demuxed into the shards
+  uint64_t windows = 0;               // window barriers completed
+  uint64_t backpressure_stalls = 0;   // failed ring pushes (queue full)
+  uint64_t rule_updates_applied = 0;  // quiesced mutations applied
+  uint64_t reports = 0;               // reports forwarded to the sink(s)
+  std::vector<WorkerStats> workers;   // per shard, refreshed at barriers
+};
+
+}  // namespace newton

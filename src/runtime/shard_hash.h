@@ -1,0 +1,50 @@
+// Flow-key sharding: which packet fields the demux hashes to pick a worker.
+//
+// Key-affine sharding is what lets the runtime keep exact reduce/distinct
+// semantics without cross-worker coordination: if the shard fields are a
+// subset of every stateful key of every installed query, then all packets
+// contributing to one aggregation key land on the same shard, so that
+// shard's private register bank sees exactly the packet subsequence the
+// single-threaded pipeline would have folded into that key (docs/runtime.md).
+// The 5-tuple default maximizes balance for multi-query mixes; deployments
+// that need bit-exact per-key state pick the common key prefix instead
+// (e.g. ShardKey::on({Field::DstIp}) for the DDoS query family).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/fields.h"
+#include "packet/packet.h"
+
+namespace newton {
+
+struct ShardKey {
+  std::vector<Field> fields;
+
+  static ShardKey five_tuple() {
+    return {{Field::SrcIp, Field::DstIp, Field::SrcPort, Field::DstPort,
+             Field::Proto}};
+  }
+  static ShardKey on(std::vector<Field> f) { return {std::move(f)}; }
+
+  // FNV-1a over the selected field values (same scheme as FiveTupleHash).
+  uint64_t hash(const Packet& p) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (Field f : fields) {
+      const uint32_t v = p.get(f);
+      for (int i = 0; i < 4; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    }
+    return h;
+  }
+
+  std::size_t shard_of(const Packet& p, std::size_t num_shards) const {
+    if (num_shards <= 1) return 0;
+    return static_cast<std::size_t>(hash(p) % num_shards);
+  }
+};
+
+}  // namespace newton

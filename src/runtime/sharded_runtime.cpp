@@ -1,0 +1,235 @@
+#include "runtime/sharded_runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace newton {
+
+namespace {
+
+MergeOp merge_op_for(SaluOp op) {
+  switch (op) {
+    case SaluOp::Add: return MergeOp::Add;   // count-min rows: sums add
+    case SaluOp::Or: return MergeOp::Or;     // bloom rows: membership unions
+    case SaluOp::Write:
+    case SaluOp::Read:
+      // Key-affine sharding means at most one worker ever wrote a given
+      // register, so max picks that worker's value (zeros elsewhere).
+      return MergeOp::Max;
+  }
+  return MergeOp::Max;
+}
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(NewtonSwitch& primary, RuntimeOptions opts,
+                               Analyzer* analyzer)
+    : primary_(primary),
+      opts_(opts),
+      controller_(primary),
+      analyzer_(analyzer) {
+  if (opts_.num_shards == 0)
+    throw std::invalid_argument("ShardedRuntime: num_shards must be > 0");
+  controller_.set_mutation_guard([this] {
+    if (started_ && !at_barrier_)
+      throw std::logic_error(
+          "ShardedRuntime: controller mutation while a window is open; use "
+          "install()/withdraw(), which quiesce at the next window barrier");
+  });
+  workers_.reserve(opts_.num_shards);
+  for (std::size_t i = 0; i < opts_.num_shards; ++i)
+    workers_.push_back(
+        std::make_unique<ShardWorker>(i, opts_.queue_capacity));
+  stats_.workers.resize(opts_.num_shards);
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  if (started_) {
+    // Best effort: stop threads without a final drain (finish() was not
+    // called; destructor must not throw).
+    for (auto& w : workers_) w->post({WorkItem::Kind::Stop, {}});
+    for (auto& w : workers_) w->join();
+  }
+}
+
+void ShardedRuntime::install(const Query& q, CompileOptions opts) {
+  if (!started_) {
+    at_barrier_ = true;
+    const auto st = controller_.install(q, opts);
+    at_barrier_ = false;
+    for (std::size_t bi = 0; bi < st.qids.size(); ++bi) {
+      qid_owner_[st.qids[bi]] = {q.name, bi};
+      if (analyzer_) analyzer_->register_qid_any(st.qids[bi], q.name, bi);
+    }
+    replicas_dirty_ = true;
+    return;
+  }
+  pending_.push_back({PendingMutation::Kind::Install, q, opts, q.name});
+}
+
+void ShardedRuntime::withdraw(const std::string& name) {
+  if (!started_) {
+    at_barrier_ = true;
+    controller_.remove(name);
+    at_barrier_ = false;
+    for (auto it = qid_owner_.begin(); it != qid_owner_.end();)
+      it = it->second.first == name ? qid_owner_.erase(it) : std::next(it);
+    replicas_dirty_ = true;
+    return;
+  }
+  pending_.push_back({PendingMutation::Kind::Withdraw, {}, {}, name});
+}
+
+void ShardedRuntime::start() {
+  if (started_) return;
+  reload_replicas();
+  for (auto& w : workers_) {
+    w->reset_banks();
+    w->start();
+  }
+  started_ = true;
+}
+
+void ShardedRuntime::process(const Packet& pkt) {
+  if (!started_) start();
+  const uint64_t wns = primary_.window_ns();
+  const uint64_t epoch = wns == 0 ? 0 : pkt.ts_ns / wns;
+  if (!have_epoch_) {
+    // Match NewtonSwitch::maybe_roll_epoch, which starts at epoch 0: a
+    // trace beginning mid-epoch still closes "window 0" first.
+    cur_epoch_ = 0;
+    have_epoch_ = true;
+  }
+  if (epoch != cur_epoch_) {
+    barrier();
+    cur_epoch_ = epoch;
+  }
+  const std::size_t shard = opts_.shard_key.shard_of(pkt, workers_.size());
+  stats_.backpressure_stalls +=
+      workers_[shard]->post({WorkItem::Kind::Packet, pkt});
+  ++stats_.packets_in;
+}
+
+void ShardedRuntime::run(const Trace& t) {
+  for (const Packet& p : t.packets) process(p);
+}
+
+void ShardedRuntime::finish() {
+  if (!started_) return;
+  barrier();  // drain the final (partial) window
+  for (auto& w : workers_) w->post({WorkItem::Kind::Stop, {}});
+  for (auto& w : workers_) w->join();
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    stats_.workers[i] = workers_[i]->stats();
+  started_ = false;
+  have_epoch_ = false;
+}
+
+void ShardedRuntime::barrier() {
+  ++fence_seq_;
+  for (auto& w : workers_)
+    stats_.backpressure_stalls += w->post({WorkItem::Kind::Fence, {}});
+  for (auto& w : workers_) w->wait_fence(fence_seq_);
+  // All workers quiesced; their replica state is now safely readable.
+  drain_and_merge();
+  apply_mutations();
+  if (replicas_dirty_)
+    reload_replicas();
+  for (auto& w : workers_) w->reset_banks();
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    stats_.workers[i] = workers_[i]->stats();
+  ++stats_.windows;
+  // The next ring push publishes every replica mutation above to the
+  // worker (release/acquire on the ring indices).
+}
+
+void ShardedRuntime::deliver(const ReportRecord& r) {
+  if (analyzer_) analyzer_->report(r);
+  if (extra_sink_) extra_sink_->report(r);
+  ++stats_.reports;
+}
+
+void ShardedRuntime::drain_and_merge() {
+  WindowSnapshot snap;
+  snap.window = cur_epoch_;
+
+  // Reports, in shard order (deterministic given a deterministic demux).
+  for (auto& w : workers_) {
+    for (const ReportRecord& r : w->reports().records()) deliver(r);
+    snap.reports += w->reports().size();
+    w->reports().clear();
+  }
+
+  // Fold the per-worker banks into the primary switch's banks, slice by
+  // allocated slice, so the merged end-of-window state is introspectable on
+  // the primary exactly as if it had executed the whole window itself.
+  primary_.reset_state();
+  const auto segs = primary_.state_segments();
+  for (const auto& seg : segs) {
+    const MergeOp op = merge_op_for(seg.op);
+    for (auto& w : workers_) {
+      if (!w->has_bank(seg.stage)) continue;
+      primary_.bank(seg.stage).merge_range_from(w->bank(seg.stage),
+                                                seg.offset, seg.width, op);
+    }
+  }
+
+  if (!opts_.record_snapshots) return;
+
+  {
+    // Per-branch result snapshot: the branch's slices in (stage, offset)
+    // order, read back from the merged primary banks.
+    auto ordered = segs;
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.qid, a.stage, a.offset) <
+             std::tie(b.qid, b.stage, b.offset);
+    });
+    BranchSnapshot* cur = nullptr;
+    uint16_t cur_qid = 0;
+    for (const auto& seg : ordered) {
+      if (!cur || cur_qid != seg.qid) {
+        const auto it = qid_owner_.find(seg.qid);
+        snap.branches.push_back(
+            {it == qid_owner_.end() ? "?" : it->second.first,
+             it == qid_owner_.end() ? 0 : it->second.second,
+             {}});
+        cur = &snap.branches.back();
+        cur_qid = seg.qid;
+      }
+      const RegisterArray& bank = primary_.bank(seg.stage);
+      for (std::size_t i = 0; i < seg.width; ++i)
+        cur->state.push_back(bank.read(seg.offset + i));
+    }
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+void ShardedRuntime::apply_mutations() {
+  if (pending_.empty()) return;
+  at_barrier_ = true;
+  for (auto& m : pending_) {
+    if (m.kind == PendingMutation::Kind::Install) {
+      const auto st = controller_.install(m.q, m.opts);
+      for (std::size_t bi = 0; bi < st.qids.size(); ++bi) {
+        qid_owner_[st.qids[bi]] = {m.q.name, bi};
+        if (analyzer_) analyzer_->register_qid_any(st.qids[bi], m.q.name, bi);
+      }
+    } else {
+      controller_.remove(m.name);
+      for (auto it = qid_owner_.begin(); it != qid_owner_.end();)
+        it = it->second.first == m.name ? qid_owner_.erase(it) : std::next(it);
+    }
+    ++stats_.rule_updates_applied;
+  }
+  at_barrier_ = false;
+  pending_.clear();
+  replicas_dirty_ = true;
+}
+
+void ShardedRuntime::reload_replicas() {
+  for (auto& w : workers_)
+    w->load_replica(primary_.pipeline(), primary_.init_table());
+  replicas_dirty_ = false;
+}
+
+}  // namespace newton

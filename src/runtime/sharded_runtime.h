@@ -1,0 +1,135 @@
+// Sharded parallel execution runtime.
+//
+// Partitions a time-sorted packet stream across N worker threads — each
+// owning a private deep clone of the primary switch's pipeline (tables +
+// register banks) — by a configurable flow-key hash, while preserving exact
+// single-threaded query semantics (docs/runtime.md):
+//
+//   * demux thread:  shard = hash(flow key) % N, push into the worker's
+//     bounded SPSC ring (backpressure counted, never dropped);
+//   * windows are the synchronization unit: on each epoch boundary the
+//     demux fences every worker, merges the per-worker state banks
+//     (count-min rows by element-wise add, bloom rows by or) back into the
+//     primary switch's banks, drains the per-worker report buffers into the
+//     attached Analyzer/sink, snapshots per-query results, zeroes replica
+//     state, and only then releases the next window's packets;
+//   * rule install/withdraw mid-stream (the paper's core claim) rides the
+//     same barrier: mutations queue and apply atomically while all workers
+//     are quiesced, through the ordinary Controller; direct Controller
+//     mutation while a window is open is rejected by the quiesce guard.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "core/controller.h"
+#include "core/newton_switch.h"
+#include "runtime/runtime_stats.h"
+#include "runtime/shard_hash.h"
+#include "runtime/worker.h"
+#include "trace/trace_gen.h"
+
+namespace newton {
+
+struct RuntimeOptions {
+  std::size_t num_shards = 1;
+  std::size_t queue_capacity = 4096;  // per-worker ring slots
+  ShardKey shard_key = ShardKey::five_tuple();
+  // Keep per-window merged result snapshots (tests compare them across
+  // shard counts; benches turn this off).
+  bool record_snapshots = true;
+};
+
+// End-of-window contents of every register slice one query branch
+// allocated, after folding the per-worker replicas together.
+struct BranchSnapshot {
+  std::string query;
+  std::size_t branch = 0;
+  std::vector<uint32_t> state;  // branch's slices, concatenated in layout order
+
+  friend bool operator==(const BranchSnapshot&, const BranchSnapshot&) =
+      default;
+};
+
+struct WindowSnapshot {
+  uint64_t window = 0;      // ts_ns / window_ns index of the closed window
+  std::size_t reports = 0;  // reports drained at this barrier
+  std::vector<BranchSnapshot> branches;
+};
+
+class ShardedRuntime {
+ public:
+  // `analyzer` (optional) receives every drained report and gets qid
+  // registrations for queries installed through the runtime.
+  explicit ShardedRuntime(NewtonSwitch& primary, RuntimeOptions opts = {},
+                          Analyzer* analyzer = nullptr);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  // Additional raw-record sink (tests use a ReportBuffer); reports go to
+  // both this and the analyzer.
+  void set_report_sink(ReportSink* sink) { extra_sink_ = sink; }
+
+  // Install / withdraw a query.  Before the stream starts this applies
+  // immediately; mid-stream it queues and applies at the next window
+  // barrier, where every worker is quiesced (rule updates never observe a
+  // half-processed window).
+  void install(const Query& q, CompileOptions opts = {});
+  void withdraw(const std::string& name);
+
+  // Direct controller access (reads are always safe; mutation while a
+  // window is open throws via the quiesce guard).
+  Controller& controller() { return controller_; }
+
+  void start();                      // clone replicas, spawn workers
+  void process(const Packet& pkt);   // demux one packet (caller = one thread)
+  void run(const Trace& t);          // convenience replay loop
+  void finish();                     // final barrier, stop and join workers
+
+  const RuntimeStats& stats() const { return stats_; }
+  const std::vector<WindowSnapshot>& snapshots() const { return snapshots_; }
+  std::size_t num_shards() const { return workers_.size(); }
+
+ private:
+  void barrier();           // fence all workers, merge, drain, mutate, reset
+  void drain_and_merge();   // reports -> sinks, banks -> primary, snapshot
+  void apply_mutations();   // queued installs/withdrawals, under quiesce
+  void reload_replicas();   // re-clone primary pipeline into every worker
+  void deliver(const ReportRecord& r);
+
+  struct PendingMutation {
+    enum class Kind : uint8_t { Install, Withdraw } kind;
+    Query q;             // Install
+    CompileOptions opts; // Install
+    std::string name;    // Withdraw
+  };
+
+  NewtonSwitch& primary_;
+  RuntimeOptions opts_;
+  Controller controller_;
+  Analyzer* analyzer_;
+  ReportSink* extra_sink_ = nullptr;
+
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  std::vector<PendingMutation> pending_;
+  // qid -> (query name, branch), for snapshot attribution.
+  std::map<uint16_t, std::pair<std::string, std::size_t>> qid_owner_;
+
+  RuntimeStats stats_;
+  std::vector<WindowSnapshot> snapshots_;
+  uint64_t fence_seq_ = 0;
+  uint64_t cur_epoch_ = 0;
+  bool have_epoch_ = false;
+  bool started_ = false;
+  bool at_barrier_ = false;   // quiesce guard: controller mutation allowed
+  bool replicas_dirty_ = true;
+};
+
+}  // namespace newton

@@ -1,0 +1,126 @@
+// Bounded single-producer / single-consumer ring buffer: the demux->worker
+// packet channel of the sharded runtime.
+//
+// The fast path is lock-free (a release/acquire pair on the two indices —
+// the classic cached-index SPSC queue).  When one side would spin for long
+// it parks on a condition variable with a short timeout, so the runtime
+// stays live and cheap on CPU-starved hosts (CI containers often pin us to
+// a single core) without the latency cliffs of pure blocking queues.
+//
+// The release/acquire pair doubles as the runtime's quiesce fence: any
+// plain-memory write the producer performs before push() is visible to the
+// consumer after the matching pop(), and vice versa — which is what makes
+// it safe for the demux thread to rebuild a worker's pipeline replica
+// between a fence acknowledgement and the next push.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace newton {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  bool try_push(const T& v) {
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ > mask_) return false;  // full
+    }
+    buf_[t & mask_] = v;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;  // empty
+    }
+    out = buf_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Blocking push.  Returns the number of failed attempts before the item
+  // fit — the demux counts these as backpressure stalls.
+  uint64_t push(const T& v) {
+    uint64_t stalls = 0;
+    while (true) {
+      for (int i = 0; i < kSpin; ++i) {
+        if (try_push(v)) {
+          wake(consumer_waiting_);
+          return stalls;
+        }
+        ++stalls;
+        std::this_thread::yield();
+      }
+      park(producer_waiting_);
+    }
+  }
+
+  // Blocking pop.
+  void pop(T& out) {
+    while (true) {
+      for (int i = 0; i < kSpin; ++i) {
+        if (try_pop(out)) {
+          wake(producer_waiting_);
+          return;
+        }
+        std::this_thread::yield();
+      }
+      park(consumer_waiting_);
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  // A missed wakeup only costs the park timeout, so the flag protocol can
+  // stay simple (no eventcount sequencing).
+  void park(std::atomic<bool>& flag) {
+    std::unique_lock<std::mutex> lk(mu_);
+    flag.store(true, std::memory_order_relaxed);
+    cv_.wait_for(lk, std::chrono::milliseconds(1));
+    flag.store(false, std::memory_order_relaxed);
+  }
+
+  void wake(std::atomic<bool>& flag) {
+    if (flag.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  static constexpr int kSpin = 64;
+
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer index
+  uint64_t tail_cache_ = 0;                    // consumer-private
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer index
+  uint64_t head_cache_ = 0;                    // producer-private
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> producer_waiting_{false};
+  std::atomic<bool> consumer_waiting_{false};
+};
+
+}  // namespace newton

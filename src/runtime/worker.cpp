@@ -1,0 +1,119 @@
+#include "runtime/worker.h"
+
+#include <ctime>
+#include <stdexcept>
+
+namespace newton {
+
+namespace {
+
+// Per-thread CPU time: the worker's true work, immune to the scheduling
+// noise of oversubscribed hosts (the bench derives its critical-path
+// throughput model from this).
+uint64_t thread_cpu_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+#endif
+  return 0;
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(std::size_t index, std::size_t queue_capacity)
+    : index_(index), ring_(queue_capacity) {}
+
+ShardWorker::~ShardWorker() {
+  if (thread_.joinable()) {
+    ring_.push({WorkItem::Kind::Stop, {}});
+    thread_.join();
+  }
+}
+
+void ShardWorker::load_replica(const Pipeline& pipe, const InitModule& init) {
+  pipeline_ = pipe.clone();
+  auto cloned = std::dynamic_pointer_cast<InitModule>(init.clone());
+  if (!cloned)
+    throw std::logic_error("ShardWorker: init clone has unexpected type");
+  init_ = std::move(cloned);
+
+  s_by_stage_.assign(pipeline_.num_stages(), nullptr);
+  r_mods_.clear();
+  for (std::size_t i = 0; i < pipeline_.num_stages(); ++i) {
+    for (const auto& t : pipeline_.stage(i).tables()) {
+      if (auto* s = dynamic_cast<SModule*>(t.get())) s_by_stage_[i] = s;
+      if (auto* r = dynamic_cast<RModule*>(t.get())) {
+        r->set_sink(&reports_);
+        r_mods_.push_back(r);
+      }
+    }
+  }
+}
+
+void ShardWorker::start() {
+  if (started_) return;
+  if (!init_)
+    throw std::logic_error("ShardWorker: start before load_replica");
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ShardWorker::join() {
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void ShardWorker::wait_fence(uint64_t seq) const {
+  while (fences_seen_.load(std::memory_order_acquire) < seq)
+    std::this_thread::yield();
+}
+
+RegisterArray& ShardWorker::bank(std::size_t stage) {
+  SModule* s = s_by_stage_.at(stage);
+  if (!s) throw std::out_of_range("ShardWorker::bank: stage has no S module");
+  return s->registers();
+}
+
+bool ShardWorker::has_bank(std::size_t stage) const {
+  return stage < s_by_stage_.size() && s_by_stage_[stage] != nullptr;
+}
+
+void ShardWorker::reset_banks() {
+  for (SModule* s : s_by_stage_)
+    if (s) s->registers().reset();
+}
+
+void ShardWorker::process(const Packet& pkt) {
+  // Mirrors the plain-path NewtonSwitch::process (no CQE slices here);
+  // window rollover is the runtime's job, signalled by fences, so the
+  // worker never resets state on its own.
+  Phv phv;
+  phv.pkt = pkt;
+  init_->execute(phv);
+  pipeline_.process(phv);
+  ++stats_.packets;
+}
+
+void ShardWorker::run() {
+  WorkItem item;
+  while (true) {
+    ring_.pop(item);
+    if (item.kind == WorkItem::Kind::Stop) break;
+    if (item.kind == WorkItem::Kind::Fence) {
+      // The demux drains (and clears) the buffer right after this fence, so
+      // the running total accumulates exactly once per window.
+      stats_.reports += reports_.size();
+      stats_.busy_ns = thread_cpu_ns();
+      // Release: every replica write above happens-before the demux's
+      // acquire in wait_fence.
+      fences_seen_.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    process(item.pkt);
+  }
+  stats_.busy_ns = thread_cpu_ns();
+}
+
+}  // namespace newton

@@ -1,0 +1,85 @@
+// One shard worker of the sharded runtime: a thread owning a private deep
+// clone of the primary switch's newton_init table and pipeline (tables +
+// register banks) plus a private report buffer.
+//
+// Ownership / synchronization contract:
+//   * Only the worker thread touches the replica while packets are in
+//     flight.
+//   * The demux thread may read or rebuild the replica (merge banks, drain
+//     reports, reload after a rule update) ONLY between observing a fence
+//     acknowledgement and pushing the next queue item; the ring's
+//     release/acquire pairs order those accesses (see spsc_ring.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/modules.h"
+#include "core/report.h"
+#include "dataplane/pipeline.h"
+#include "runtime/runtime_stats.h"
+#include "runtime/spsc_ring.h"
+
+namespace newton {
+
+// One demux->worker queue item: a packet, a window fence, or a stop token.
+struct WorkItem {
+  enum class Kind : uint8_t { Packet, Fence, Stop };
+  Kind kind = Kind::Packet;
+  Packet pkt;
+};
+
+class ShardWorker {
+ public:
+  ShardWorker(std::size_t index, std::size_t queue_capacity);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  // Replace the replica with a fresh deep clone of `pipe` + `init` and bind
+  // the cloned R modules to this worker's private report buffer.  Demux
+  // thread only; worker must be quiesced (not yet started, or fenced).
+  void load_replica(const Pipeline& pipe, const InitModule& init);
+
+  void start();  // spawn the thread (idempotent)
+  void join();   // wait for the thread after a Stop token
+
+  SpscRing<WorkItem>& ring() { return ring_; }
+
+  // Post a fence and return immediately; pair with wait_fence.
+  // Returns backpressure stalls encountered while enqueueing.
+  uint64_t post(const WorkItem& item) { return ring_.push(item); }
+  // Block (spin+yield) until the worker acknowledged `seq` fences total.
+  void wait_fence(uint64_t seq) const;
+
+  // --- quiesced access (demux thread, after wait_fence) ---
+  ReportBuffer& reports() { return reports_; }
+  RegisterArray& bank(std::size_t stage);
+  bool has_bank(std::size_t stage) const;
+  void reset_banks();  // zero every replica register bank (window rollover)
+  const WorkerStats& stats() const { return stats_; }
+
+  std::size_t index() const { return index_; }
+
+ private:
+  void run();
+  void process(const Packet& pkt);
+
+  std::size_t index_;
+  SpscRing<WorkItem> ring_;
+  Pipeline pipeline_{0};
+  std::shared_ptr<InitModule> init_;
+  std::vector<SModule*> s_by_stage_;  // typed views into the replica
+  std::vector<RModule*> r_mods_;
+  ReportBuffer reports_;
+  WorkerStats stats_;
+  std::atomic<uint64_t> fences_seen_{0};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace newton

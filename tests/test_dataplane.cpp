@@ -92,6 +92,56 @@ TEST(RegisterArray, ResetAndBounds) {
   EXPECT_THROW(RegisterArray(0), std::invalid_argument);
 }
 
+TEST(RegisterArray, MergeAddCombinesCountMinRows) {
+  // Two shards each counted a disjoint share of the stream; Add-merge must
+  // equal the single-shard counters.
+  RegisterArray a(8), b(8), whole(8);
+  for (int i = 0; i < 10; ++i) {
+    RegisterArray& shard = (i % 2 == 0) ? a : b;
+    shard.execute(SaluOp::Add, static_cast<std::size_t>(i % 3), 1);
+    whole.execute(SaluOp::Add, static_cast<std::size_t>(i % 3), 1);
+  }
+  a.merge_from(b, MergeOp::Add);
+  for (std::size_t i = 0; i < whole.size(); ++i)
+    EXPECT_EQ(a.read(i), whole.read(i)) << "slot " << i;
+}
+
+TEST(RegisterArray, MergeOrCombinesBloomBanks) {
+  RegisterArray a(8), b(8);
+  a.execute(SaluOp::Or, 1, 1);
+  b.execute(SaluOp::Or, 1, 1);  // same bit on both shards stays one bit
+  b.execute(SaluOp::Or, 5, 1);
+  a.merge_from(b, MergeOp::Or);
+  EXPECT_EQ(a.read(1), 1u);
+  EXPECT_EQ(a.read(5), 1u);
+  EXPECT_EQ(a.read(0), 0u);
+}
+
+TEST(RegisterArray, MergeMaxKeepsLargestObservation) {
+  RegisterArray a(4), b(4);
+  a.execute(SaluOp::Write, 0, 7);
+  b.execute(SaluOp::Write, 0, 3);
+  b.execute(SaluOp::Write, 2, 9);
+  a.merge_from(b, MergeOp::Max);
+  EXPECT_EQ(a.read(0), 7u);
+  EXPECT_EQ(a.read(2), 9u);
+}
+
+TEST(RegisterArray, MergeRangeTouchesOnlyTheSegment) {
+  RegisterArray a(8), b(8);
+  for (std::size_t i = 0; i < 8; ++i) b.execute(SaluOp::Add, i, 2);
+  a.merge_range_from(b, /*offset=*/2, /*width=*/3, MergeOp::Add);
+  EXPECT_EQ(a.read(1), 0u);
+  EXPECT_EQ(a.read(2), 2u);
+  EXPECT_EQ(a.read(4), 2u);
+  EXPECT_EQ(a.read(5), 0u);
+  // Out-of-range tails are clamped, mismatched sizes rejected.
+  a.merge_range_from(b, 6, 100, MergeOp::Add);
+  EXPECT_EQ(a.read(7), 2u);
+  RegisterArray small(4);
+  EXPECT_THROW(a.merge_from(small, MergeOp::Add), std::invalid_argument);
+}
+
 TEST(Resources, ArithmeticAndNormalization) {
   ResourceVec a{10, 20, 30, 4, 5, 1, 2};
   ResourceVec b{1, 2, 3, 1, 1, 1, 1};
@@ -119,6 +169,9 @@ class StageCapacityCheck : public ::testing::Test {
     void execute(Phv&) override {}
     ResourceVec resources() const override { return r; }
     std::string name() const override { return "fat"; }
+    std::shared_ptr<TableProgram> clone() const override {
+      return std::make_shared<FatTable>(*this);
+    }
   };
 };
 
@@ -142,6 +195,9 @@ TEST(Pipeline, ProcessesStagesInOrder) {
     }
     ResourceVec resources() const override { return {}; }
     std::string name() const override { return "tag"; }
+    std::shared_ptr<TableProgram> clone() const override {
+      return std::make_shared<Tagger>(*this);
+    }
   };
   Pipeline p(3);
   p.stage(0).add(std::make_shared<Tagger>(1));

@@ -1,0 +1,442 @@
+// Sharded runtime: pipeline replica isolation, window-synchronized report
+// equivalence vs. the single-threaded path (1/2/4/8 shards), per-window
+// merged result snapshots, quiesced mid-stream install/withdraw, and
+// backpressure accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "core/controller.h"
+#include "core/newton_switch.h"
+#include "core/queries.h"
+#include "runtime/sharded_runtime.h"
+#include "trace/attacks.h"
+#include "trace/trace_gen.h"
+
+namespace newton {
+namespace {
+
+constexpr uint64_t kWindowNs = 100'000'000;
+
+auto rec_key(const ReportRecord& r) {
+  return std::tuple(r.qid, r.ts_ns, r.oper_keys, r.hash_result,
+                    r.state_result, r.global_result, r.switch_id);
+}
+
+std::vector<ReportRecord> sorted(std::vector<ReportRecord> v) {
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return rec_key(a) < rec_key(b);
+  });
+  return v;
+}
+
+void expect_same_records(const std::vector<ReportRecord>& a,
+                         const std::vector<ReportRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(rec_key(a[i]), rec_key(b[i])) << "record " << i;
+}
+
+// Forward to an Analyzer and a ReportBuffer at once (the switch takes one
+// sink; the runtime supports both natively).
+struct TeeSink : ReportSink {
+  Analyzer* an;
+  ReportBuffer* buf;
+  TeeSink(Analyzer* a, ReportBuffer* b) : an(a), buf(b) {}
+  void report(const ReportRecord& r) override {
+    if (an) an->report(r);
+    if (buf) buf->report(r);
+  }
+};
+
+// A dip-keyed reduce query over UDP traffic: stateful (count-min rows) but
+// bloom-free, so its per-packet report stream is bit-exact under dip-affine
+// sharding.
+Query make_udp_count(uint32_t th) {
+  return QueryBuilder("udp_pkts_per_dst")
+      .sketch(2, 8192)
+      .window_ms(100)
+      .filter(Predicate{}.where(Field::Proto, Cmp::Eq, kProtoUdp))
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, th)
+      .build();
+}
+
+// Stateless per-packet exporter: reports every TCP SYN's (sip, dip).
+Query make_syn_export() {
+  return QueryBuilder("syn_export")
+      .filter(Predicate{}
+                  .where(Field::Proto, Cmp::Eq, kProtoTcp)
+                  .where(Field::TcpFlags, Cmp::Eq, kTcpSyn))
+      .map({Field::SrcIp, Field::DstIp})
+      .build();
+}
+
+Trace attack_trace(std::size_t flows, uint32_t seed) {
+  TraceProfile p = caida_like(seed);
+  p.num_flows = flows;
+  Trace t = generate_trace(p);
+  std::mt19937 rng(seed + 99);
+  inject_syn_flood(t, ipv4(172, 16, 7, 7), 200, 1, 150'000'000, rng);
+  inject_udp_flood(t, ipv4(172, 16, 9, 9), 120, 2, 450'000'000, rng);
+  t.sort_by_time();
+  return t;
+}
+
+QueryParams tuned_params() {
+  QueryParams p;
+  p.sketch_width = 8192;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: clone isolation
+// ---------------------------------------------------------------------------
+
+TEST(PipelineClone, SharesNoMutableState) {
+  NewtonSwitch sw(1, 12, nullptr);
+  Controller ctl(sw);
+  ctl.install(make_q1(tuned_params()));
+
+  Pipeline replica = sw.pipeline().clone();
+  auto init = std::dynamic_pointer_cast<InitModule>(sw.init_table().clone());
+  ASSERT_NE(init, nullptr);
+  ASSERT_EQ(init->table().size(), sw.init_table().table().size());
+
+  // Collect the replica's typed modules.
+  std::vector<SModule*> rep_s;
+  for (std::size_t i = 0; i < replica.num_stages(); ++i)
+    for (const auto& t : replica.stage(i).tables())
+      if (auto* s = dynamic_cast<SModule*>(t.get())) rep_s.push_back(s);
+  ASSERT_FALSE(rep_s.empty());
+
+  // Run SYNs through the replica only: its registers move, the original's
+  // stay zero.
+  for (int i = 0; i < 10; ++i) {
+    Phv phv;
+    phv.pkt = make_packet(50 + i, 99, 1, 80, kProtoTcp, kTcpSyn, 64, 1000);
+    init->execute(phv);
+    replica.process(phv);
+  }
+  uint64_t replica_sum = 0, original_sum = 0;
+  for (std::size_t st = 0; st < replica.num_stages(); ++st) {
+    for (const auto& t : replica.stage(st).tables())
+      if (auto* s = dynamic_cast<SModule*>(t.get()))
+        for (std::size_t i = 0; i < s->registers().size(); ++i)
+          replica_sum += s->registers().read(i);
+    const RegisterArray& orig = sw.bank(st);
+    for (std::size_t i = 0; i < orig.size(); ++i)
+      original_sum += orig.read(i);
+  }
+  EXPECT_GT(replica_sum, 0u);
+  EXPECT_EQ(original_sum, 0u);
+
+  // Mutating the clone's rule tables leaves the original untouched.
+  std::vector<KModule*> orig_k, rep_k;
+  for (std::size_t i = 0; i < replica.num_stages(); ++i) {
+    for (const auto& t : replica.stage(i).tables())
+      if (auto* k = dynamic_cast<KModule*>(t.get())) rep_k.push_back(k);
+    for (const auto& t : sw.pipeline().stage(i).tables())
+      if (auto* k = dynamic_cast<KModule*>(t.get())) orig_k.push_back(k);
+  }
+  ASSERT_EQ(orig_k.size(), rep_k.size());
+  for (std::size_t i = 0; i < rep_k.size(); ++i) {
+    const std::size_t before = orig_k[i]->table().size();
+    for (uint16_t q = 0; q < kMaxQueries; ++q) rep_k[i]->table().remove(q);
+    EXPECT_EQ(orig_k[i]->table().size(), before);
+    EXPECT_EQ(rep_k[i]->table().size(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: shard-count equivalence
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  std::vector<ReportRecord> records;  // canonical order
+  std::unique_ptr<Analyzer> an;
+  std::vector<WindowSnapshot> snapshots;
+  RuntimeStats stats;
+};
+
+RunResult run_direct(const Trace& t, const std::vector<Query>& queries) {
+  RunResult out;
+  out.an = std::make_unique<Analyzer>();
+  ReportBuffer buf;
+  TeeSink tee{out.an.get(), &buf};
+  NewtonSwitch sw(1, 24, &tee);
+  Controller ctl(sw);
+  for (const Query& q : queries) {
+    const auto st = ctl.install(q);
+    for (std::size_t bi = 0; bi < st.qids.size(); ++bi)
+      out.an->register_qid_any(st.qids[bi], q.name, bi);
+  }
+  for (const Packet& p : t.packets) sw.process(p);
+  out.records = sorted(buf.records());
+  return out;
+}
+
+RunResult run_sharded(const Trace& t, const std::vector<Query>& queries,
+                      std::size_t shards, ShardKey key) {
+  RunResult out;
+  out.an = std::make_unique<Analyzer>();
+  ReportBuffer buf;
+  NewtonSwitch sw(1, 24, nullptr);
+  RuntimeOptions o;
+  o.num_shards = shards;
+  o.shard_key = std::move(key);
+  ShardedRuntime rt(sw, o, out.an.get());
+  rt.set_report_sink(&buf);
+  for (const Query& q : queries) rt.install(q);
+  rt.run(t);
+  rt.finish();
+  out.records = sorted(buf.records());
+  out.snapshots = rt.snapshots();
+  out.stats = rt.stats();
+  return out;
+}
+
+TEST(ShardEquivalence, ReportsAndSnapshotsMatchSingleThread) {
+  const Trace t = attack_trace(500, 31);
+  const std::vector<Query> queries = {make_q1(tuned_params()),
+                                      make_udp_count(100), make_syn_export()};
+  const ShardKey key = ShardKey::on({Field::DstIp});
+
+  const RunResult ref = run_direct(t, queries);
+  ASSERT_GT(ref.records.size(), 0u);
+  // The injected victims are detected by the reference path.
+  const KeySet q1_hits = ref.an->detected("q1_new_tcp");
+  bool found = false;
+  for (const KeyArray& k : q1_hits)
+    found |= k[index(Field::DstIp)] == ipv4(172, 16, 7, 7);
+  EXPECT_TRUE(found);
+
+  const RunResult one = run_sharded(t, queries, 1, key);
+  expect_same_records(ref.records, one.records);
+
+  for (std::size_t n : {2u, 4u, 8u}) {
+    const RunResult r = run_sharded(t, queries, n, key);
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    // Byte-identical report stream (canonical order).
+    expect_same_records(ref.records, r.records);
+    // Identical analyzer views.
+    for (const Query& q : queries) {
+      EXPECT_EQ(ref.an->reports_for(q.name), r.an->reports_for(q.name));
+      EXPECT_EQ(ref.an->detected(q.name), r.an->detected(q.name));
+    }
+    // Identical per-query merged result snapshots, window by window.
+    ASSERT_EQ(one.snapshots.size(), r.snapshots.size());
+    for (std::size_t w = 0; w < r.snapshots.size(); ++w) {
+      EXPECT_EQ(one.snapshots[w].window, r.snapshots[w].window);
+      EXPECT_EQ(one.snapshots[w].reports, r.snapshots[w].reports);
+      EXPECT_EQ(one.snapshots[w].branches, r.snapshots[w].branches);
+    }
+    // Every packet went somewhere and, for n > 1, to more than one shard.
+    EXPECT_EQ(r.stats.packets_in, t.size());
+    uint64_t busiest = 0, total = 0;
+    for (const auto& ws : r.stats.workers) {
+      busiest = std::max(busiest, ws.packets);
+      total += ws.packets;
+    }
+    EXPECT_EQ(total, t.size());
+    if (n > 1) {
+      EXPECT_LT(busiest, t.size());
+    }
+  }
+}
+
+TEST(ShardEquivalence, DistinctQueriesDetectEquivalently) {
+  // Bloom-backed distinct state merges by OR; per-packet report timestamps
+  // can shift with the shard layout (a false positive another key pre-set
+  // may live on a different shard), but the merged per-window state and the
+  // detected key sets must match the single-threaded run.
+  const Trace t = attack_trace(400, 32);
+  QueryParams p = tuned_params();
+  const std::vector<Query> queries = {make_q5(p)};
+  const RunResult ref = run_direct(t, queries);
+
+  bool found = false;
+  for (const KeyArray& k : ref.an->detected("q5_udp_ddos"))
+    found |= k[index(Field::DstIp)] == ipv4(172, 16, 9, 9);
+  EXPECT_TRUE(found);
+
+  for (std::size_t n : {2u, 4u, 8u}) {
+    const RunResult r =
+        run_sharded(t, queries, n, ShardKey::on({Field::DstIp}));
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    EXPECT_EQ(ref.an->detected("q5_udp_ddos"), r.an->detected("q5_udp_ddos"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: quiesced mid-stream install / withdraw
+// ---------------------------------------------------------------------------
+
+struct MutationPlan {
+  uint64_t install_at_ns;   // queue the install when ts crosses this
+  uint64_t withdraw_at_ns;  // queue the withdrawal when ts crosses this
+  Query to_install;
+  std::string to_withdraw;
+};
+
+RunResult run_sharded_mutating(const Trace& t, const Query& initial,
+                               const MutationPlan& plan, std::size_t shards) {
+  RunResult out;
+  out.an = std::make_unique<Analyzer>();
+  ReportBuffer buf;
+  NewtonSwitch sw(1, 24, nullptr);
+  RuntimeOptions o;
+  o.num_shards = shards;
+  o.shard_key = ShardKey::on({Field::DstIp});
+  ShardedRuntime rt(sw, o, out.an.get());
+  rt.set_report_sink(&buf);
+  rt.install(initial);
+  bool installed = false, withdrawn = false;
+  for (const Packet& p : t.packets) {
+    if (!installed && p.ts_ns >= plan.install_at_ns) {
+      rt.install(plan.to_install);
+      installed = true;
+    }
+    if (!withdrawn && p.ts_ns >= plan.withdraw_at_ns) {
+      rt.withdraw(plan.to_withdraw);
+      withdrawn = true;
+    }
+    rt.process(p);
+  }
+  rt.finish();
+  out.records = sorted(buf.records());
+  out.snapshots = rt.snapshots();
+  out.stats = rt.stats();
+  return out;
+}
+
+RunResult run_direct_mutating(const Trace& t, const Query& initial,
+                              const MutationPlan& plan) {
+  RunResult out;
+  out.an = std::make_unique<Analyzer>();
+  ReportBuffer buf;
+  TeeSink tee{out.an.get(), &buf};
+  NewtonSwitch sw(1, 24, &tee);
+  Controller ctl(sw);
+  auto reg = [&](const Query& q, const Controller::OpStats& st) {
+    for (std::size_t bi = 0; bi < st.qids.size(); ++bi)
+      out.an->register_qid_any(st.qids[bi], q.name, bi);
+  };
+  reg(initial, ctl.install(initial));
+  bool inst_queued = false, wd_queued = false;
+  bool inst_pending = false, wd_pending = false;
+  uint64_t cur_epoch = 0;
+  for (const Packet& p : t.packets) {
+    if (!inst_queued && p.ts_ns >= plan.install_at_ns) {
+      inst_queued = inst_pending = true;
+    }
+    if (!wd_queued && p.ts_ns >= plan.withdraw_at_ns) {
+      wd_queued = wd_pending = true;
+    }
+    const uint64_t epoch = p.ts_ns / kWindowNs;
+    if (epoch != cur_epoch) {
+      // Window boundary: the runtime applies queued mutations here.
+      if (inst_pending) {
+        reg(plan.to_install, ctl.install(plan.to_install));
+        inst_pending = false;
+      }
+      if (wd_pending) {
+        ctl.remove(plan.to_withdraw);
+        wd_pending = false;
+      }
+      cur_epoch = epoch;
+    }
+    sw.process(p);
+  }
+  out.records = sorted(buf.records());
+  return out;
+}
+
+TEST(MidStreamUpdates, InstallAndWithdrawMatchSingleThreadAcrossShards) {
+  const Trace t = attack_trace(500, 33);
+  const Query q1 = make_q1(tuned_params());
+  MutationPlan plan;
+  plan.install_at_ns = 310'000'000;   // applied at the 400ms boundary
+  plan.withdraw_at_ns = 710'000'000;  // applied at the 800ms boundary
+  plan.to_install = make_udp_count(100);
+  plan.to_withdraw = "q1_new_tcp";
+
+  const RunResult ref = run_direct_mutating(t, q1, plan);
+
+  // The newly installed query produces reports (the UDP flood starts at
+  // 450ms, after the install boundary).
+  EXPECT_GT(ref.an->reports_for("udp_pkts_per_dst"), 0u);
+  EXPECT_GT(ref.an->reports_for("q1_new_tcp"), 0u);
+
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    const RunResult r = run_sharded_mutating(t, q1, plan, n);
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    expect_same_records(ref.records, r.records);
+    EXPECT_EQ(r.stats.rule_updates_applied, 2u);
+    EXPECT_EQ(ref.an->detected("q1_new_tcp"), r.an->detected("q1_new_tcp"));
+    EXPECT_EQ(ref.an->detected("udp_pkts_per_dst"),
+              r.an->detected("udp_pkts_per_dst"));
+  }
+
+  // Timing discipline: no udp_pkts_per_dst report precedes the install
+  // boundary and no q1 report follows the withdrawal boundary.
+  const RunResult two = run_sharded_mutating(t, q1, plan, 2);
+  const auto udp_stats = two.an->stats("udp_pkts_per_dst", 0, kWindowNs);
+  const auto q1_stats = two.an->stats("q1_new_tcp", 0, kWindowNs);
+  EXPECT_GT(udp_stats.reports, 0u);
+  EXPECT_GE(udp_stats.first_ts_ns, 400'000'000u);
+  EXPECT_GT(q1_stats.reports, 0u);
+  EXPECT_LT(q1_stats.last_ts_ns, 800'000'000u);
+}
+
+TEST(MidStreamUpdates, DirectControllerMutationMidWindowThrows) {
+  NewtonSwitch sw(1, 24, nullptr);
+  ShardedRuntime rt(sw, {});
+  rt.install(make_q1(tuned_params()));  // pre-start: applies immediately
+  EXPECT_TRUE(rt.controller().installed("q1_new_tcp"));
+
+  rt.process(make_packet(1, 2, 3, 4, kProtoTcp, kTcpSyn, 64, 1'000));
+  EXPECT_THROW(rt.controller().install(make_udp_count(100)),
+               std::logic_error);
+  EXPECT_THROW(rt.controller().remove("q1_new_tcp"), std::logic_error);
+  rt.finish();
+  // Quiesced again: direct mutation is allowed once more.
+  rt.controller().remove("q1_new_tcp");
+  EXPECT_FALSE(rt.controller().installed("q1_new_tcp"));
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: tiny rings stall the demux but never corrupt results
+// ---------------------------------------------------------------------------
+
+TEST(Backpressure, CountedAndLossless) {
+  const Trace t = attack_trace(300, 34);
+  const std::vector<Query> queries = {make_q1(tuned_params())};
+  const RunResult ref = run_direct(t, queries);
+
+  RunResult out;
+  out.an = std::make_unique<Analyzer>();
+  ReportBuffer buf;
+  NewtonSwitch sw(1, 24, nullptr);
+  RuntimeOptions o;
+  o.num_shards = 2;
+  o.queue_capacity = 1;  // every push races the consumer
+  o.shard_key = ShardKey::on({Field::DstIp});
+  o.record_snapshots = false;
+  ShardedRuntime rt(sw, o, out.an.get());
+  rt.set_report_sink(&buf);
+  for (const Query& q : queries) rt.install(q);
+  rt.run(t);
+  rt.finish();
+
+  EXPECT_GT(rt.stats().backpressure_stalls, 0u);
+  expect_same_records(ref.records, sorted(buf.records()));
+}
+
+}  // namespace
+}  // namespace newton
