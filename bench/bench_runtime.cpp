@@ -10,8 +10,16 @@
 //              so the shard-scaling claim is made on this metric and the
 //              host core count is recorded in the JSON.
 //
-// Writes BENCH_runtime.json next to the working directory.
+// Writes BENCH_runtime.json next to the working directory, including a
+// telemetry block (the global registry's snapshot of the metrics-target
+// run: per-stage packet counters, module rule hits, ring stalls, the
+// window-merge histogram — see docs/telemetry.md).
+//
+//   bench_runtime [--shards N]   run {1, N} and capture metrics at N shards
+//                                (default sweep 1/2/4/8, metrics at 4)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <thread>
 #include <vector>
@@ -21,6 +29,7 @@
 #include "core/newton_switch.h"
 #include "core/queries.h"
 #include "runtime/sharded_runtime.h"
+#include "telemetry/telemetry.h"
 
 namespace newton {
 namespace {
@@ -69,6 +78,9 @@ struct Sample {
 };
 
 Sample run_one(const Trace& t, std::size_t shards) {
+  // One run at a time in the global registry, so the exported metrics
+  // block describes exactly the metrics-target run.
+  telemetry::Registry::global().reset();
   NewtonSwitch sw(1, 24, nullptr);
   RuntimeOptions o;
   o.num_shards = shards;
@@ -108,9 +120,23 @@ Sample run_one(const Trace& t, std::size_t shards) {
 }  // namespace
 }  // namespace newton
 
-int main() {
+int main(int argc, char** argv) {
   using namespace newton;
   bench::header("Sharded runtime throughput vs. shard count");
+
+  std::size_t metrics_shards = 4;
+  std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      metrics_shards = static_cast<std::size_t>(std::atol(argv[++i]));
+      if (metrics_shards == 0) metrics_shards = 1;
+      shard_counts = {1};
+      if (metrics_shards != 1) shard_counts.push_back(metrics_shards);
+    } else {
+      std::fprintf(stderr, "usage: bench_runtime [--shards N]\n");
+      return 2;
+    }
+  }
 
   const std::size_t target = bench::full_scale() ? 4'000'000 : 1'000'000;
   TraceProfile prof = caida_like(7);
@@ -127,8 +153,12 @@ int main() {
               std::thread::hardware_concurrency());
 
   std::vector<Sample> samples;
-  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+  std::string metrics_json;
+  for (std::size_t n : shard_counts) {
     Sample s = run_one(t, n);
+    if (n == metrics_shards || metrics_json.empty())
+      metrics_json =
+          telemetry::to_json(telemetry::Registry::global().snapshot(), 2);
     std::printf(
         "shards=%zu  wall=%7.1f ms  wall_pps=%9.0f  model_pps=%9.0f  "
         "demux_cpu=%6.1f ms  max_worker_cpu=%6.1f ms  stalls=%llu\n",
@@ -139,11 +169,14 @@ int main() {
   bench::row_sep();
 
   const Sample& s1 = samples[0];
-  const Sample& s4 = samples[2];
-  const double speedup_model = s4.model_pps / s1.model_pps;
-  const double speedup_wall = s4.wall_pps / s1.wall_pps;
-  std::printf("4-shard speedup: model %.2fx, wall %.2fx\n", speedup_model,
-              speedup_wall);
+  const Sample* speedup_sample = &samples.back();
+  for (const Sample& s : samples)
+    if (s.shards == metrics_shards) speedup_sample = &s;
+  const Sample& sN = *speedup_sample;
+  const double speedup_model = sN.model_pps / s1.model_pps;
+  const double speedup_wall = sN.wall_pps / s1.wall_pps;
+  std::printf("%zu-shard speedup: model %.2fx, wall %.2fx\n", sN.shards,
+              speedup_model, speedup_wall);
 
   FILE* f = std::fopen("BENCH_runtime.json", "w");
   if (f == nullptr) {
@@ -178,8 +211,12 @@ int main() {
                  i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"speedup_model_4shard\": %.3f,\n", speedup_model);
-  std::fprintf(f, "  \"speedup_wall_4shard\": %.3f\n", speedup_wall);
+  std::fprintf(f, "  \"speedup_model_%zushard\": %.3f,\n", sN.shards,
+               speedup_model);
+  std::fprintf(f, "  \"speedup_wall_%zushard\": %.3f,\n", sN.shards,
+               speedup_wall);
+  std::fprintf(f, "  \"metrics_shards\": %zu,\n", metrics_shards);
+  std::fprintf(f, "  \"metrics\": %s\n", metrics_json.c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_runtime.json\n");

@@ -12,6 +12,11 @@
 //   newton_tool query '<dsl>' <trace.{ntrc,csv,pcap}>        run a DSL intent
 //     e.g. newton_tool query 'filter(proto == udp) | map(dip) |
 //          reduce(dip, count) | when(>= 500)' t.ntrc
+//
+// Any command accepts --metrics: after the command runs, the process-global
+// telemetry registry is dumped to stdout in Prometheus text exposition
+// (per-stage packet counters, module rule hits, controller op latencies —
+// docs/telemetry.md lists the series).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -24,6 +29,7 @@
 #include "core/p4gen.h"
 #include "core/parse_query.h"
 #include "core/queries.h"
+#include "telemetry/telemetry.h"
 #include "trace/pcap.h"
 #include "trace/trace_io.h"
 
@@ -54,7 +60,9 @@ int usage() {
                "       newton_tool compile <q1..q9>\n"
                "       newton_tool run <q1..q9> <trace.{ntrc,csv}>\n"
                "       newton_tool p4 [stages]\n"
-               "       newton_tool rules <q1..q9>\n");
+               "       newton_tool rules <q1..q9>\n"
+               "       (append --metrics to dump telemetry after any "
+               "command)\n");
   return 2;
 }
 
@@ -133,6 +141,7 @@ int run_query_over(const Query& q, const Trace& t) {
   for (std::size_t bi = 0; bi < res.qids.size(); ++bi)
     an.register_qid_any(res.qids[bi], q.name, bi);
   for (const Packet& p : t.packets) sw.process(p);
+  sw.flush_telemetry();  // publish the final partial window before any dump
 
   std::printf("%s over %zu packets: %zu report(s)\n", q.name.c_str(),
               t.size(), an.reports_for(q.name));
@@ -156,7 +165,29 @@ int run_query_over(const Query& q, const Trace& t) {
 
 }  // namespace
 
+int run_command(int argc, char** argv);
+
 int main(int argc, char** argv) {
+  // Strip --metrics wherever it appears; dump the registry on the way out.
+  bool metrics = false;
+  int n = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0)
+      metrics = true;
+    else
+      argv[n++] = argv[i];
+  }
+  argc = n;
+  const int rc = run_command(argc, argv);
+  if (metrics)
+    std::fputs(
+        telemetry::to_prometheus(telemetry::Registry::global().snapshot())
+            .c_str(),
+        stdout);
+  return rc;
+}
+
+int run_command(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     const std::string cmd = argv[1];

@@ -2,7 +2,45 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace newton {
+
+namespace {
+
+// Latency distribution of one controller->switch mutation, fed by the
+// modeled values the rule_latency model attaches to every batch (Fig. 11's
+// 5-20 ms envelope sits in the middle buckets).
+telemetry::Histogram& op_latency(const char* op) {
+  return telemetry::Registry::global().histogram(
+      "newton_controller_op_latency_ms",
+      "Modeled control-channel latency of one query mutation batch",
+      {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500}, {{"op", op}});
+}
+
+telemetry::Counter& op_rule_ops(const char* op) {
+  return telemetry::Registry::global().counter(
+      "newton_controller_rule_ops_total",
+      "Table-entry writes/deletes issued by query mutations", {{"op", op}});
+}
+
+telemetry::Counter& rejected_mutations() {
+  return telemetry::Registry::global().counter(
+      "newton_controller_mutations_rejected_total",
+      "Mutations rejected by the quiesce guard (window open mid-stream)");
+}
+
+}  // namespace
+
+void Controller::check_mutation_guard() const {
+  if (!mutation_guard_) return;
+  try {
+    mutation_guard_();
+  } catch (...) {
+    rejected_mutations().add();
+    throw;
+  }
+}
 
 std::size_t Controller::chain_min_stage(const Query& q) const {
   // Compile cheaply at stage 0 just to obtain the init entries.
@@ -20,7 +58,9 @@ std::size_t Controller::chain_min_stage(const Query& q) const {
 }
 
 Controller::OpStats Controller::install(const Query& q, CompileOptions opts) {
-  if (mutation_guard_) mutation_guard_();
+  static telemetry::Histogram& latency = op_latency("install");
+  static telemetry::Counter& rule_ops = op_rule_ops("install");
+  check_mutation_guard();
   if (queries_.contains(q.name))
     throw std::invalid_argument("Controller: query already installed: " +
                                 q.name);
@@ -28,11 +68,15 @@ Controller::OpStats Controller::install(const Query& q, CompileOptions opts) {
   CompiledQuery cq = compile_query(q, opts);
   const auto res = sw_.install(cq);
   queries_[q.name] = {res.handle, std::move(cq)};
+  latency.observe(res.latency_ms);
+  rule_ops.add(res.rule_ops);
   return {res.latency_ms, res.rule_ops, res.qids};
 }
 
 Controller::OpStats Controller::remove(const std::string& name) {
-  if (mutation_guard_) mutation_guard_();
+  static telemetry::Histogram& latency = op_latency("withdraw");
+  static telemetry::Counter& rule_ops = op_rule_ops("withdraw");
+  check_mutation_guard();
   auto it = queries_.find(name);
   if (it == queries_.end())
     throw std::invalid_argument("Controller: unknown query: " + name);
@@ -40,6 +84,8 @@ Controller::OpStats Controller::remove(const std::string& name) {
   const std::size_t ops = cq.num_table_entries();
   const double ms = sw_.remove(it->second.handle);
   queries_.erase(it);
+  latency.observe(ms);
+  rule_ops.add(ops);
   return {ms, ops, {}};
 }
 

@@ -62,6 +62,9 @@ class Controller {
     CompiledQuery cq;
   };
 
+  // Runs the quiesce guard; counts a rejected mutation if it throws.
+  void check_mutation_guard() const;
+
   // Lowest stage the new compilation may use given traffic overlap with
   // already-installed queries.
   std::size_t chain_min_stage(const Query& q) const;

@@ -1,14 +1,32 @@
 #include "core/modules.h"
 
 #include "sketch/hash.h"
+#include "telemetry/telemetry.h"
 
 namespace newton {
+
+namespace {
+
+// One rule-hit series per module type: a hit is a lookup that found an
+// installed rule for an active query, i.e. actual per-packet work done on
+// behalf of a query.  Modules accumulate hits in a plain per-instance
+// field and fold the delta in here when publish_telemetry() runs (window
+// barriers / explicit flushes), so the packet path never touches an atomic.
+telemetry::Counter& rule_hits(const char* module_type) {
+  return telemetry::Registry::global().counter(
+      "newton_module_rule_hits_total",
+      "Module rule lookups that matched an installed rule",
+      {{"module", module_type}});
+}
+
+}  // namespace
 
 void KModule::execute(Phv& phv) {
   for (uint16_t qid : phv.active_list) {
     if (!phv.active.test(qid)) continue;
     const KConfig* cfg = table_.lookup(qid);
     if (!cfg) continue;
+    ++hits_;
     MetadataSet& set = phv.set(cfg->set);
     for (std::size_t f = 0; f < kNumFields; ++f)
       set.keys[f] = phv.pkt.fields[f] & cfg->masks[f];
@@ -20,6 +38,7 @@ void HModule::execute(Phv& phv) {
     if (!phv.active.test(qid)) continue;
     const HConfig* cfg = table_.lookup(qid);
     if (!cfg) continue;
+    ++hits_;
     MetadataSet& set = phv.set(cfg->set);
     uint32_t v;
     if (cfg->direct) {
@@ -38,6 +57,7 @@ void SModule::execute(Phv& phv) {
     if (!phv.active.test(qid)) continue;
     const SConfig* cfg = table_.lookup(qid);
     if (!cfg) continue;
+    ++hits_;
     MetadataSet& set = phv.set(cfg->set);
     if (cfg->bypass) {
       set.state_result = set.hash_result;
@@ -82,6 +102,7 @@ void RModule::execute(Phv& phv) {
     if (!phv.active.test(qid)) continue;
     const RConfig* cfg = table_.lookup(qid);
     if (!cfg) continue;
+    ++hits_;
     const MetadataSet& set = phv.set(cfg->set);
     const uint32_t s = set.state_result;
     switch (cfg->combine) {
@@ -113,8 +134,29 @@ void InitModule::execute(Phv& phv) {
   // materializes intersection entries whose action carries the merged qid
   // chain; lookup_all walks that cross-product.)
   for (const Action* a :
-       table_.lookup_all(key_of(phv.pkt, phv.at_ingress_edge)))
+       table_.lookup_all(key_of(phv.pkt, phv.at_ingress_edge))) {
+    ++hits_;
     for (uint16_t q : a->qids) phv.activate_query(q);
+  }
+}
+
+namespace {
+
+void publish_hits(const char* module_type, uint64_t& hits,
+                  uint64_t& published) {
+  if (hits == published) return;
+  rule_hits(module_type).add(hits - published);
+  published = hits;
+}
+
+}  // namespace
+
+void KModule::publish_telemetry() { publish_hits("K", hits_, hits_published_); }
+void HModule::publish_telemetry() { publish_hits("H", hits_, hits_published_); }
+void SModule::publish_telemetry() { publish_hits("S", hits_, hits_published_); }
+void RModule::publish_telemetry() { publish_hits("R", hits_, hits_published_); }
+void InitModule::publish_telemetry() {
+  publish_hits("init", hits_, hits_published_);
 }
 
 // ---------------------------------------------------------------------------

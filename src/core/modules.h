@@ -36,6 +36,7 @@ class KModule : public TableProgram {
  public:
   explicit KModule(std::string name) : name_(std::move(name)), table_(kRulesPerModule) {}
   void execute(Phv& phv) override;
+  void publish_telemetry() override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
   std::shared_ptr<TableProgram> clone() const override {
@@ -53,6 +54,7 @@ class HModule : public TableProgram {
  public:
   explicit HModule(std::string name) : name_(std::move(name)), table_(kRulesPerModule) {}
   void execute(Phv& phv) override;
+  void publish_telemetry() override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
   std::shared_ptr<TableProgram> clone() const override {
@@ -70,6 +72,7 @@ class SModule : public TableProgram {
   explicit SModule(std::string name, std::size_t registers = kStateBankRegisters)
       : name_(std::move(name)), table_(kRulesPerModule), regs_(registers) {}
   void execute(Phv& phv) override;
+  void publish_telemetry() override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
   // Clones duplicate the full register bank: each replica accumulates its
@@ -93,6 +96,7 @@ class RModule : public TableProgram {
       : name_(std::move(name)), table_(kRulesPerModule), sink_(sink),
         switch_id_(switch_id) {}
   void execute(Phv& phv) override;
+  void publish_telemetry() override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
   // The sink pointer is carried over; a per-worker replica rebinds it to a
@@ -128,6 +132,7 @@ class InitModule : public TableProgram {
       : name_(std::move(name)), table_(kRulesPerModule) {}
 
   void execute(Phv& phv) override;
+  void publish_telemetry() override;
   ResourceVec resources() const override;
   std::string name() const override { return name_; }
   std::shared_ptr<TableProgram> clone() const override {

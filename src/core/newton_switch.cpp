@@ -207,8 +207,14 @@ void NewtonSwitch::maybe_roll_epoch(uint64_t ts) {
   const uint64_t epoch = window_ns_ == 0 ? 0 : ts / window_ns_;
   if (epoch != cur_epoch_) {
     reset_state();
+    flush_telemetry();
     cur_epoch_ = epoch;
   }
+}
+
+void NewtonSwitch::flush_telemetry() {
+  pipeline_.publish_telemetry();
+  if (init_) init_->publish_telemetry();
 }
 
 void NewtonSwitch::reset_state() {

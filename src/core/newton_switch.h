@@ -101,6 +101,10 @@ class NewtonSwitch {
   const InitModule& init_table() const { return *init_; }
   const Pipeline& pipeline() const { return pipeline_; }
   uint64_t window_ns() const { return window_ns_; }
+  // Publish the pipeline's and init table's accumulated telemetry deltas
+  // into the global registry.  Runs automatically at every window roll; call
+  // before scraping for an up-to-the-last-packet view of a partial window.
+  void flush_telemetry();
   const ModuleInstances& modules() const { return inst_; }
   RegisterArray& bank(std::size_t stage) {
     return inst_.s[stage]->registers();

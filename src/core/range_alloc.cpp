@@ -15,7 +15,10 @@ std::optional<std::size_t> RangeAllocator::allocate(std::size_t width) {
 }
 
 bool RangeAllocator::reserve(std::size_t offset, std::size_t width) {
-  if (width == 0 || offset + width > capacity_) return false;
+  // `offset + width > capacity_` wraps for adversarial offsets near
+  // SIZE_MAX, letting a bogus reservation succeed; compare subtractively.
+  if (width == 0 || width > capacity_ || offset > capacity_ - width)
+    return false;
   auto next = allocs_.lower_bound(offset);
   if (next != allocs_.end() && next->first < offset + width) return false;
   if (next != allocs_.begin()) {

@@ -1,6 +1,30 @@
 #include "dataplane/pipeline.h"
 
+#include <string>
+
+#include "telemetry/telemetry.h"
+
 namespace newton {
+
+void Pipeline::publish_telemetry() {
+  auto& reg = telemetry::Registry::global();
+  const uint64_t delta = packets_seen_ - packets_published_;
+  if (delta != 0) {
+    reg.counter("newton_pipeline_packets_total",
+                "Packets run through a pipeline (all replicas)")
+        .add(delta);
+    // Every packet traverses every stage (stages predicate internally), so
+    // each per-stage series advances by the same delta.
+    for (std::size_t i = 0; i < stages_.size(); ++i)
+      reg.counter("newton_pipeline_stage_packets_total",
+                  "Packets traversing a pipeline stage (all replicas)",
+                  {{"stage", std::to_string(i)}})
+          .add(delta);
+    packets_published_ = packets_seen_;
+  }
+  for (Stage& s : stages_)
+    for (const auto& t : s.tables()) t->publish_telemetry();
+}
 
 void Stage::add(std::shared_ptr<TableProgram> table) {
   if (!table) throw std::invalid_argument("Stage::add: null table");
@@ -24,7 +48,12 @@ ResourceVec Pipeline::total_used() const {
 
 Stage Stage::clone() const {
   Stage c;
-  for (const auto& t : tables_) c.tables_.push_back(t->clone());
+  for (const auto& t : tables_) {
+    c.tables_.push_back(t->clone());
+    // The original keeps (and eventually publishes) its own counts; the
+    // replica accounts only for packets it executes itself.
+    c.tables_.back()->reset_telemetry();
+  }
   return c;
 }
 

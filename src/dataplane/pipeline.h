@@ -7,6 +7,7 @@
 // list of stages a packet traverses.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -49,20 +50,32 @@ class Pipeline {
   const Stage& stage(std::size_t i) const { return stages_.at(i); }
   std::size_t num_stages() const { return stages_.size(); }
 
-  // Run the packet through all stages in order.
+  // Run the packet through all stages in order.  The only telemetry cost on
+  // this path is one plain increment — counts reach the registry when
+  // publish_telemetry() folds the delta in (window barriers, flushes).
   void process(Phv& phv) {
+    ++packets_seen_;
     for (Stage& s : stages_) s.execute(phv);
   }
+
+  // Publish packet/stage traversal counts and every table's rule hits into
+  // the global registry (replicas of the same stage — sharded-runtime
+  // workers, network switches — aggregate into the same per-stage series).
+  // Cold path: call with the pipeline quiesced.
+  void publish_telemetry();
 
   ResourceVec total_used() const;
 
   // Deep copy of the whole pipeline: every table (rules, configs, register
   // banks) is duplicated, so the replica can execute packets concurrently
-  // with the original without sharing any mutable state.
+  // with the original without sharing any mutable state.  The clone starts
+  // with no unpublished telemetry of its own.
   Pipeline clone() const;
 
  private:
   std::vector<Stage> stages_;
+  uint64_t packets_seen_ = 0;       // plain: one executing thread at a time
+  uint64_t packets_published_ = 0;  // high-water mark of published packets
 };
 
 }  // namespace newton

@@ -30,6 +30,20 @@ class TableProgram {
   // a private sink rebind it on the clone.  This is what lets a sharded
   // runtime replicate a pipeline per worker (src/runtime/).
   virtual std::shared_ptr<TableProgram> clone() const = 0;
+
+  // Fold rule-hit counts accumulated since the last publish into the global
+  // telemetry registry (cold path: window barriers and explicit flushes).
+  // The hot path only bumps `hits_`, a plain field — a table instance is
+  // only ever executed by one thread, so no atomics on the packet path.
+  virtual void publish_telemetry() {}
+
+  // Start with nothing pending; Stage::clone / replica loads call this so a
+  // replica never re-publishes work its original already counted.
+  void reset_telemetry() { hits_ = hits_published_ = 0; }
+
+ protected:
+  uint64_t hits_ = 0;            // rule lookups that matched, this instance
+  uint64_t hits_published_ = 0;  // high-water mark of published hits
 };
 
 }  // namespace newton

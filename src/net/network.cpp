@@ -1,6 +1,44 @@
 #include "net/network.h"
 
+#include <string>
+
+#include "telemetry/telemetry.h"
+
 namespace newton {
+
+namespace {
+
+// Per-slice CQE traversal series: how many times slice d of any deployed
+// query executed on some hop.  Slice 0 executions are inferred from a hop
+// emitting a fresh SP header (or finishing a single-slice execution);
+// slices > 0 from a hop consuming the SP header addressed to them.
+telemetry::Counter& slice_traversals(std::size_t slice) {
+  return telemetry::Registry::global().counter(
+      "newton_cqe_slice_traversals_total",
+      "CQE slice executions by slice index, across all switches",
+      {{"slice", std::to_string(slice)}});
+}
+
+struct NetCounters {
+  telemetry::Counter& hops;
+  telemetry::Counter& sp_bytes;
+  telemetry::Counter& deferred;
+
+  static NetCounters& get() {
+    auto& reg = telemetry::Registry::global();
+    static NetCounters c{
+        reg.counter("newton_net_hops_total",
+                    "Switch hops traversed by forwarded packets"),
+        reg.counter("newton_cqe_sp_link_bytes_total",
+                    "SP (result snapshot) header bytes carried on links"),
+        reg.counter("newton_cqe_deferred_total",
+                    "Executions handed to the software deferred handler at "
+                    "the egress edge")};
+    return c;
+  }
+};
+
+}  // namespace
 
 Network::Network(Topology topo, std::size_t stages_per_switch,
                  ReportSink* sink, std::size_t bank_registers)
@@ -23,11 +61,13 @@ Network::SendStats Network::send(const Packet& pkt, int src_host,
 Network::SendStats Network::send_along(const Packet& pkt,
                                        const std::vector<int>& sw_path) {
   SendStats st;
+  NetCounters& tc = NetCounters::get();
   ++packets_sent_;
   std::optional<SpHeader> sp;
   bool first_hop = true;
   for (int node : sw_path) {
     ++st.hops;
+    tc.hops.add();
     auto& sw = *switches_.at(node);
     // The snapshot crosses the link as 12 wire bytes; encode/decode at each
     // hop exercises the real SP codec end to end.
@@ -38,6 +78,13 @@ Network::SendStats Network::send_along(const Packet& pkt,
     }
     const auto out = sw.process(pkt, sp_in, /*at_ingress_edge=*/first_hop);
     first_hop = false;
+    if (out.sp_consumed && sp_in) {
+      // This hop hosted and ran the slice the header addressed.
+      slice_traversals(sp_in->next_slice).add();
+    } else if (!sp_in && out.sp_out) {
+      // A fresh execution started here: slice 0 ran and snapshotted onward.
+      slice_traversals(0).add();
+    }
     if (out.sp_out) {
       sp = out.sp_out;
     } else if (out.sp_consumed) {
@@ -47,6 +94,7 @@ Network::SendStats Network::send_along(const Packet& pkt,
     if (sp) {
       st.sp_link_bytes += kSpHeaderBytes;
       sp_link_bytes_ += kSpHeaderBytes;
+      tc.sp_bytes.add(kSpHeaderBytes);
     }
     payload_link_bytes_ += pkt.wire_len;
   }
@@ -55,6 +103,7 @@ Network::SendStats Network::send_along(const Packet& pkt,
     // Egress with an unfinished query: switches strip the SP header before
     // the packet reaches end hosts; the snapshot is mirrored to software.
     st.deferred = true;
+    tc.deferred.add();
     if (deferred_) deferred_(pkt, *sp);
   }
   return st;

@@ -23,6 +23,10 @@ Placement place_resilient(const Topology& t,
   std::set<std::pair<int, std::size_t>> seen;  // (switch, depth)
   std::queue<std::pair<int, std::size_t>> q;
   for (int s : edge_switches) {
+    // Callers seed this from traffic descriptions, which may name host
+    // nodes; only switches can host a slice, so a host id must not be
+    // assigned slice 0 of the layering.
+    if (!t.is_switch(s)) continue;
     if (seen.insert({s, 1}).second) q.push({s, 1});
   }
   while (!q.empty()) {

@@ -1,7 +1,9 @@
 #include "runtime/sharded_runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 
 namespace newton {
 
@@ -41,6 +43,56 @@ ShardedRuntime::ShardedRuntime(NewtonSwitch& primary, RuntimeOptions opts,
     workers_.push_back(
         std::make_unique<ShardWorker>(i, opts_.queue_capacity));
   stats_.workers.resize(opts_.num_shards);
+  flushed_.workers.resize(opts_.num_shards);
+  bind_telemetry();
+}
+
+void ShardedRuntime::bind_telemetry() {
+  telemetry::Registry& reg =
+      opts_.registry ? *opts_.registry : telemetry::Registry::global();
+  metrics_.packets_in = &reg.counter("newton_runtime_packets_in_total",
+                                     "Packets demuxed into the shards");
+  metrics_.windows = &reg.counter("newton_runtime_windows_total",
+                                  "Window barriers completed");
+  metrics_.ring_stalls =
+      &reg.counter("newton_runtime_ring_stalls_total",
+                   "Failed SPSC ring pushes (backpressure, queue full)");
+  metrics_.rule_updates =
+      &reg.counter("newton_runtime_rule_updates_total",
+                   "Quiesced rule mutations applied at window barriers");
+  metrics_.reports = &reg.counter("newton_runtime_reports_total",
+                                  "Reports drained to the attached sinks");
+  metrics_.merge_us = &reg.histogram(
+      "newton_runtime_window_merge_duration_us",
+      "Wall time of one window barrier: drain reports, merge per-worker "
+      "banks, apply mutations, reload replicas",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000});
+  metrics_.shard_packets.resize(workers_.size());
+  metrics_.shard_occupancy.resize(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const telemetry::Labels shard{{"shard", std::to_string(i)}};
+    metrics_.shard_packets[i] =
+        &reg.counter("newton_runtime_shard_packets_total",
+                     "Packets executed by one shard worker", shard);
+    metrics_.shard_occupancy[i] =
+        &reg.gauge("newton_runtime_shard_occupancy",
+                   "Shard ring depth sampled when the window barrier begins",
+                   shard);
+  }
+}
+
+void ShardedRuntime::flush_telemetry() {
+  metrics_.packets_in->add(stats_.packets_in - flushed_.packets_in);
+  metrics_.windows->add(stats_.windows - flushed_.windows);
+  metrics_.ring_stalls->add(stats_.backpressure_stalls -
+                            flushed_.backpressure_stalls);
+  metrics_.rule_updates->add(stats_.rule_updates_applied -
+                             flushed_.rule_updates_applied);
+  metrics_.reports->add(stats_.reports - flushed_.reports);
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    metrics_.shard_packets[i]->add(stats_.workers[i].packets -
+                                   flushed_.workers[i].packets);
+  flushed_ = stats_;
 }
 
 ShardedRuntime::~ShardedRuntime() {
@@ -121,24 +173,38 @@ void ShardedRuntime::finish() {
   for (auto& w : workers_) w->join();
   for (std::size_t i = 0; i < workers_.size(); ++i)
     stats_.workers[i] = workers_[i]->stats();
+  flush_telemetry();
   started_ = false;
   have_epoch_ = false;
 }
 
 void ShardedRuntime::barrier() {
+  // Occupancy just before the fence: how much of the window's tail each
+  // shard still had queued when the demux hit the epoch boundary.
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    metrics_.shard_occupancy[i]->set(
+        static_cast<int64_t>(workers_[i]->ring().size_approx()));
   ++fence_seq_;
   for (auto& w : workers_)
     stats_.backpressure_stalls += w->post({WorkItem::Kind::Fence, {}});
   for (auto& w : workers_) w->wait_fence(fence_seq_);
   // All workers quiesced; their replica state is now safely readable.
+  // Publish replica telemetry before any reload replaces the replicas.
+  for (auto& w : workers_) w->publish_telemetry();
+  const auto merge_t0 = std::chrono::steady_clock::now();
   drain_and_merge();
   apply_mutations();
   if (replicas_dirty_)
     reload_replicas();
   for (auto& w : workers_) w->reset_banks();
+  metrics_.merge_us->observe(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - merge_t0)
+          .count());
   for (std::size_t i = 0; i < workers_.size(); ++i)
     stats_.workers[i] = workers_[i]->stats();
   ++stats_.windows;
+  flush_telemetry();
   // The next ring push publishes every replica mutation above to the
   // worker (release/acquire on the ring indices).
 }

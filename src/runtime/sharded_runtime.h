@@ -29,9 +29,9 @@
 #include "analyzer/analyzer.h"
 #include "core/controller.h"
 #include "core/newton_switch.h"
-#include "runtime/runtime_stats.h"
 #include "runtime/shard_hash.h"
 #include "runtime/worker.h"
+#include "telemetry/telemetry.h"
 #include "trace/trace_gen.h"
 
 namespace newton {
@@ -43,6 +43,23 @@ struct RuntimeOptions {
   // Keep per-window merged result snapshots (tests compare them across
   // shard counts; benches turn this off).
   bool record_snapshots = true;
+  // Registry receiving the runtime's metrics (windows, ring stalls, window
+  // merge durations, shard occupancy).  Defaults to the process-global
+  // registry; benches and determinism tests pass private instances so
+  // sequential runs do not accumulate.
+  telemetry::Registry* registry = nullptr;
+};
+
+// Aggregated per-run totals, derived from the same values the telemetry
+// registry exports (kept as a plain struct so callers can read one run's
+// numbers without diffing registry snapshots).
+struct RuntimeStats {
+  uint64_t packets_in = 0;            // packets demuxed into the shards
+  uint64_t windows = 0;               // window barriers completed
+  uint64_t backpressure_stalls = 0;   // failed ring pushes (queue full)
+  uint64_t rule_updates_applied = 0;  // quiesced mutations applied
+  uint64_t reports = 0;               // reports forwarded to the sink(s)
+  std::vector<WorkerStats> workers;   // per shard, refreshed at barriers
 };
 
 // End-of-window contents of every register slice one query branch
@@ -103,6 +120,8 @@ class ShardedRuntime {
   void apply_mutations();   // queued installs/withdrawals, under quiesce
   void reload_replicas();   // re-clone primary pipeline into every worker
   void deliver(const ReportRecord& r);
+  void bind_telemetry();    // resolve metric handles against the registry
+  void flush_telemetry();   // mirror counters batched at each barrier
 
   struct PendingMutation {
     enum class Kind : uint8_t { Install, Withdraw } kind;
@@ -124,6 +143,24 @@ class ShardedRuntime {
 
   RuntimeStats stats_;
   std::vector<WindowSnapshot> snapshots_;
+
+  // Telemetry handles (see docs/telemetry.md for the metric names).  The
+  // packet hot path only touches plain stats_ members; deltas are mirrored
+  // into these at window barriers, so instrumentation adds nothing per
+  // packet on the demux side.
+  struct Metrics {
+    telemetry::Counter* packets_in = nullptr;
+    telemetry::Counter* windows = nullptr;
+    telemetry::Counter* ring_stalls = nullptr;
+    telemetry::Counter* rule_updates = nullptr;
+    telemetry::Counter* reports = nullptr;
+    telemetry::Histogram* merge_us = nullptr;  // window merge duration
+    std::vector<telemetry::Counter*> shard_packets;
+    std::vector<telemetry::Gauge*> shard_occupancy;  // ring depth at barrier
+  };
+  Metrics metrics_;
+  RuntimeStats flushed_;  // totals already mirrored into the registry
+
   uint64_t fence_seq_ = 0;
   uint64_t cur_epoch_ = 0;
   bool have_epoch_ = false;

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -72,7 +73,7 @@ class SpscRing {
         ++stalls;
         std::this_thread::yield();
       }
-      park(producer_waiting_);
+      park(producer_waiting_, [this] { return can_push(); });
     }
   }
 
@@ -86,24 +87,64 @@ class SpscRing {
         }
         std::this_thread::yield();
       }
-      park(consumer_waiting_);
+      park(consumer_waiting_, [this] { return can_pop(); });
     }
   }
 
   std::size_t capacity() const { return mask_ + 1; }
 
+  // Items currently enqueued, racy by nature (indices are read separately).
+  // Telemetry samples this at window barriers as the shard-occupancy gauge.
+  std::size_t size_approx() const {
+    const uint64_t t = tail_.load(std::memory_order_acquire);
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  // Test seam: invoked at the top of park(), i.e. exactly in the window
+  // between the caller's last failed try_pop/try_push and the waiting-flag
+  // publication.  Lets a regression test inject a push into that window
+  // deterministically (tests/test_runtime.cpp ParkRecheck).
+  void set_park_test_hook(std::function<void()> hook) {
+    park_test_hook_ = std::move(hook);
+  }
+
  private:
-  // A missed wakeup only costs the park timeout, so the flag protocol can
-  // stay simple (no eventcount sequencing).
-  void park(std::atomic<bool>& flag) {
+  bool can_pop() const {
+    return head_.load(std::memory_order_relaxed) !=
+           tail_.load(std::memory_order_acquire);
+  }
+  bool can_push() const {
+    return tail_.load(std::memory_order_relaxed) -
+               head_.load(std::memory_order_acquire) <=
+           mask_;
+  }
+
+  // Publish the waiting flag, THEN re-check the ring before sleeping: an
+  // item pushed between the caller's last failed attempt and the flag store
+  // would otherwise always eat the full timeout (its wake() read the flag
+  // as false).  The flag store is seq_cst so it cannot reorder past the
+  // re-check; the wake side reads it seq_cst after its release-store of the
+  // index.  A residual miss on weakly-ordered hardware is still bounded by
+  // the park timeout, so no eventcount sequencing is needed.
+  template <typename Ready>
+  void park(std::atomic<bool>& flag, Ready ready) {
+    if (park_test_hook_) park_test_hook_();
     std::unique_lock<std::mutex> lk(mu_);
-    flag.store(true, std::memory_order_relaxed);
+    flag.store(true, std::memory_order_seq_cst);
+    if (ready()) {
+      flag.store(false, std::memory_order_relaxed);
+      return;
+    }
+    // Holding mu_ from before the flag store to the wait means any wake()
+    // that saw the flag blocks on mu_ until wait_for releases it — its
+    // notify cannot slip into the gap.
     cv_.wait_for(lk, std::chrono::milliseconds(1));
     flag.store(false, std::memory_order_relaxed);
   }
 
   void wake(std::atomic<bool>& flag) {
-    if (flag.load(std::memory_order_relaxed)) {
+    if (flag.load(std::memory_order_seq_cst)) {
       std::lock_guard<std::mutex> lk(mu_);
       cv_.notify_all();
     }
@@ -121,6 +162,7 @@ class SpscRing {
   std::condition_variable cv_;
   std::atomic<bool> producer_waiting_{false};
   std::atomic<bool> consumer_waiting_{false};
+  std::function<void()> park_test_hook_;  // cold path only; see setter
 };
 
 }  // namespace newton

@@ -37,6 +37,7 @@ void ShardWorker::load_replica(const Pipeline& pipe, const InitModule& init) {
   auto cloned = std::dynamic_pointer_cast<InitModule>(init.clone());
   if (!cloned)
     throw std::logic_error("ShardWorker: init clone has unexpected type");
+  cloned->reset_telemetry();  // this replica publishes only its own hits
   init_ = std::move(cloned);
 
   s_by_stage_.assign(pipeline_.num_stages(), nullptr);

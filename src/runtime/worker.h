@@ -20,10 +20,17 @@
 #include "core/modules.h"
 #include "core/report.h"
 #include "dataplane/pipeline.h"
-#include "runtime/runtime_stats.h"
 #include "runtime/spsc_ring.h"
 
 namespace newton {
+
+// Per-shard execution totals, refreshed at window barriers (and exported
+// through telemetry as the newton_runtime_shard_* series).
+struct WorkerStats {
+  uint64_t packets = 0;   // packets this worker executed
+  uint64_t reports = 0;   // reports it emitted (drained at barriers)
+  uint64_t busy_ns = 0;   // thread CPU time consumed so far
+};
 
 // One demux->worker queue item: a packet, a window fence, or a stop token.
 struct WorkItem {
@@ -61,6 +68,12 @@ class ShardWorker {
   RegisterArray& bank(std::size_t stage);
   bool has_bank(std::size_t stage) const;
   void reset_banks();  // zero every replica register bank (window rollover)
+  // Fold the replica's packet/stage/rule-hit deltas into the global
+  // registry (the runtime calls this at every window barrier).
+  void publish_telemetry() {
+    pipeline_.publish_telemetry();
+    if (init_) init_->publish_telemetry();
+  }
   const WorkerStats& stats() const { return stats_; }
 
   std::size_t index() const { return index_; }

@@ -86,6 +86,39 @@ TEST(Metrics, EdgeCases) {
   EXPECT_DOUBLE_EQ(empty.precision(), 1.0);
   EXPECT_DOUBLE_EQ(empty.recall(), 1.0);
   EXPECT_DOUBLE_EQ(empty.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.f1(), 1.0);
+}
+
+TEST(Metrics, EmptyUniverseYieldsNoNegatives) {
+  // The universe supplies the negatives; without one there can be no true
+  // negatives, and the FPR denominator collapses to the false positives.
+  KeySet truth{dip_key(1)};
+  KeySet detected{dip_key(1), dip_key(2)};
+  const Accuracy a = score(detected, truth, /*universe=*/{});
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.fp, 1u);
+  EXPECT_EQ(a.fn, 0u);
+  EXPECT_EQ(a.tn, 0u);
+  EXPECT_DOUBLE_EQ(a.fpr(), 1.0);
+  EXPECT_DOUBLE_EQ(a.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(a.precision(), 0.5);
+}
+
+TEST(Metrics, DetectedKeysOutsideUniverseStillCountAsFalsePositives) {
+  // A detection the universe never enumerated is a false positive all the
+  // same, and it must not be double-counted as a negative.
+  KeySet truth{dip_key(1)};
+  KeySet detected{dip_key(9)};  // not in truth, not in universe
+  KeySet universe{dip_key(1), dip_key(2), dip_key(3)};
+  const Accuracy a = score(detected, truth, universe);
+  EXPECT_EQ(a.tp, 0u);
+  EXPECT_EQ(a.fp, 1u);
+  EXPECT_EQ(a.fn, 1u);
+  EXPECT_EQ(a.tn, 2u);  // keys 2 and 3: undetected non-truth
+  EXPECT_DOUBLE_EQ(a.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(a.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(a.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(a.fpr(), 1.0 / 3.0);
 }
 
 TEST(Analyzer, RoutesReportsByQid) {

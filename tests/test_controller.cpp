@@ -44,6 +44,40 @@ TEST(RangeAlloc, ZeroAndOversize) {
   EXPECT_FALSE(a.free(5));
 }
 
+TEST(RangeAlloc, ReserveOverflowDoesNotWrap) {
+  RangeAllocator a(100);
+  // offset + width wraps around SIZE_MAX to a tiny sum; the naive
+  // `offset + width > capacity` bound check accepted these.
+  EXPECT_FALSE(a.reserve(SIZE_MAX, 2));
+  EXPECT_FALSE(a.reserve(SIZE_MAX - 1, 4));
+  EXPECT_FALSE(a.reserve(2, SIZE_MAX - 1));
+  EXPECT_EQ(a.used(), 0u);
+
+  // Exact-boundary reservations still work.
+  EXPECT_FALSE(a.reserve(100, 1));  // one past the end
+  EXPECT_TRUE(a.reserve(99, 1));    // last register
+  EXPECT_TRUE(a.reserve(0, 99));    // fills the remainder exactly
+  EXPECT_EQ(a.used(), 100u);
+  EXPECT_FALSE(a.allocate(1).has_value());
+}
+
+TEST(RangeAlloc, AllocateBoundaries) {
+  RangeAllocator a(10);
+  EXPECT_FALSE(a.allocate(SIZE_MAX).has_value());
+  const auto whole = a.allocate(10);  // full capacity in one slice
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, 0u);
+  EXPECT_FALSE(a.allocate(1).has_value());
+  EXPECT_TRUE(a.free(*whole));
+  EXPECT_EQ(a.used(), 0u);
+
+  // First fit lands flush against capacity when only the tail hole is left.
+  ASSERT_TRUE(a.reserve(0, 9));
+  const auto tail = a.allocate(1);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(*tail, 9u);
+}
+
 TEST(Controller, InstallRemoveLifecycle) {
   NewtonSwitch sw(1, 12, nullptr);
   Controller ctl(sw);

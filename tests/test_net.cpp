@@ -110,6 +110,28 @@ TEST(Placement, RuleMultiplexingBoundsEntries) {
   }
 }
 
+TEST(Placement, HostIdsInIngressSetAreIgnored) {
+  // Traffic descriptions name ingress points, which may be host nodes; only
+  // switches can hold module rules, so a host id seeded into the ingress set
+  // must not be assigned slice 0 (it used to be, corrupting the layering).
+  const Topology t = make_fat_tree(4);
+  const int host = t.hosts()[0];
+  ASSERT_FALSE(t.is_switch(host));
+
+  std::vector<int> ingress = t.edge_switches();
+  ingress.push_back(host);
+  const Placement p = place_resilient(t, ingress, 3);
+
+  EXPECT_EQ(p.assignment.count(host), 0u);
+  // And the placement is exactly what the switch-only seed set produces.
+  const Placement clean = place_resilient(t, t.edge_switches(), 3);
+  EXPECT_EQ(p.assignment, clean.assignment);
+
+  // An ingress set of only hosts places nothing rather than seeding hosts.
+  const Placement none = place_resilient(t, {host}, 3);
+  EXPECT_TRUE(none.assignment.empty());
+}
+
 TEST(Placement, CoverageInvariant) {
   // Resilience: along ANY path from an ingress edge, the packet meets
   // slice d at or before its (d+1)-th switch.  Check over ECMP paths.
