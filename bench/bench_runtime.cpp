@@ -73,6 +73,10 @@ struct Sample {
   std::vector<uint64_t> worker_cpu;
   uint64_t stalls = 0;
   uint64_t reports = 0;
+  uint64_t failovers = 0;
+  uint64_t redistributed = 0;
+  uint64_t abandoned = 0;
+  std::size_t live_shards = 0;
   double wall_pps = 0.0;
   double model_pps = 0.0;
 };
@@ -110,6 +114,10 @@ Sample run_one(const Trace& t, std::size_t shards) {
   }
   s.stalls = st.backpressure_stalls;
   s.reports = st.reports;
+  s.failovers = st.worker_failovers;
+  s.redistributed = st.redistributed_packets;
+  s.abandoned = st.abandoned_packets;
+  s.live_shards = st.live_shards;
   const double n = static_cast<double>(t.size());
   s.wall_pps = n * 1e9 / static_cast<double>(s.wall);
   const uint64_t crit = std::max(s.demux_cpu, s.max_worker_cpu);
@@ -205,9 +213,15 @@ int main(int argc, char** argv) {
     for (std::size_t j = 0; j < s.worker_cpu.size(); ++j)
       std::fprintf(f, "%s%llu", j ? ", " : "",
                    static_cast<unsigned long long>(s.worker_cpu[j]));
-    std::fprintf(f, "], \"backpressure_stalls\": %llu, \"reports\": %llu}%s\n",
+    std::fprintf(f,
+                 "], \"backpressure_stalls\": %llu, \"reports\": %llu, "
+                 "\"worker_failovers\": %llu, \"redistributed_packets\": "
+                 "%llu, \"abandoned_packets\": %llu, \"live_shards\": %zu}%s\n",
                  static_cast<unsigned long long>(s.stalls),
                  static_cast<unsigned long long>(s.reports),
+                 static_cast<unsigned long long>(s.failovers),
+                 static_cast<unsigned long long>(s.redistributed),
+                 static_cast<unsigned long long>(s.abandoned), s.live_shards,
                  i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

@@ -12,6 +12,9 @@
 //   newton_tool query '<dsl>' <trace.{ntrc,csv,pcap}>        run a DSL intent
 //     e.g. newton_tool query 'filter(proto == udp) | map(dip) |
 //          reduce(dip, count) | when(>= 500)' t.ntrc
+//   newton_tool inject <q1..q9> [seed] [events]              fault replay:
+//     deploy the query resiliently on a fat-tree, replay a trace under a
+//     seeded link-failure plan and print the plan + failover counters
 //
 // Any command accepts --metrics: after the command runs, the process-global
 // telemetry registry is dumped to stdout in Prometheus text exposition
@@ -29,6 +32,10 @@
 #include "core/p4gen.h"
 #include "core/parse_query.h"
 #include "core/queries.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "net/net_controller.h"
+#include "net/network.h"
 #include "telemetry/telemetry.h"
 #include "trace/pcap.h"
 #include "trace/trace_io.h"
@@ -61,6 +68,7 @@ int usage() {
                "       newton_tool run <q1..q9> <trace.{ntrc,csv}>\n"
                "       newton_tool p4 [stages]\n"
                "       newton_tool rules <q1..q9>\n"
+               "       newton_tool inject <q1..q9> [seed] [events]\n"
                "       (append --metrics to dump telemetry after any "
                "command)\n");
   return 2;
@@ -163,6 +171,64 @@ int run_query_over(const Query& q, const Trace& t) {
   return 0;
 }
 
+int cmd_inject(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int qi = query_index(argv[2]);
+  if (qi < 0) return usage();
+  const uint32_t seed =
+      argc > 3 ? static_cast<uint32_t>(std::atol(argv[3])) : 1u;
+  const std::size_t n_events =
+      argc > 4 ? static_cast<std::size_t>(std::atol(argv[4])) : 8u;
+  const Query q = all_queries()[static_cast<std::size_t>(qi)];
+
+  TraceProfile prof = caida_like(seed);
+  prof.num_flows = 300;
+  const Trace t = generate_trace(prof);
+
+  Analyzer an;
+  Network net(make_fat_tree(4), /*stages_per_switch=*/6, &an, 1 << 13);
+  NetworkController ctl(net, &an);
+  CompileOptions opts;
+  opts.opt3 = false;  // force multi-slice so the reroute machinery engages
+  const auto& dep = ctl.deploy(q, opts);
+  std::printf("deployed %s: %zu slice(s) on %zu switch(es)\n",
+              q.name.c_str(), dep.slices.size(),
+              dep.placement.assignment.size());
+
+  FaultPlan plan = make_random_link_plan(net.topo(), seed, n_events, t.size(),
+                                         t.size() / 8);
+  std::printf("fault plan (seed %u):\n%s", seed,
+              plan.describe(net.topo()).c_str());
+
+  FaultInjector inj(net, std::move(plan), &ctl);
+  const auto hosts = net.topo().hosts();
+  std::size_t deferred = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    inj.advance(i);
+    const auto st = net.send(t.packets[i], hosts[(i * 7 + 1) % hosts.size()],
+                             hosts[(i * 11 + 5) % hosts.size()]);
+    deferred += st.deferred ? 1u : 0u;
+  }
+  inj.finish();
+
+  const auto& fs = ctl.fault_stats();
+  std::printf(
+      "replayed %zu packets: %zu event(s) applied, %zu dropped, %zu "
+      "deferred\n"
+      "controller: retries=%llu rollbacks=%llu failovers=%llu "
+      "delta_installs=%llu delta_withdrawals=%llu degraded=%s\n"
+      "%s: %zu report(s)\n",
+      t.size(), inj.events_applied(), net.packets_dropped(), deferred,
+      static_cast<unsigned long long>(fs.install_retries),
+      static_cast<unsigned long long>(fs.rollbacks),
+      static_cast<unsigned long long>(fs.failovers),
+      static_cast<unsigned long long>(fs.delta_installs),
+      static_cast<unsigned long long>(fs.delta_withdrawals),
+      ctl.any_degraded() ? "yes" : "no", q.name.c_str(),
+      an.reports_for(q.name));
+  return 0;
+}
+
 }  // namespace
 
 int run_command(int argc, char** argv);
@@ -210,6 +276,7 @@ int run_command(int argc, char** argv) {
       std::fputs(generate_p4_program(o).c_str(), stdout);
       return 0;
     }
+    if (cmd == "inject") return cmd_inject(argc, argv);
     if (cmd == "rules") {
       const int qi = argc > 2 ? query_index(argv[2]) : -1;
       if (qi < 0) return usage();

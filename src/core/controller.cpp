@@ -42,12 +42,14 @@ void Controller::check_mutation_guard() const {
   }
 }
 
-std::size_t Controller::chain_min_stage(const Query& q) const {
+std::size_t Controller::chain_min_stage(const Query& q,
+                                        const std::string* skip) const {
   // Compile cheaply at stage 0 just to obtain the init entries.
   std::size_t min_stage = 0;
   for (std::size_t bi = 0; bi < q.branches.size(); ++bi) {
     const BranchModules probe = decompose_branch(q, bi, /*opt1=*/true);
     for (const auto& [name, e] : queries_) {
+      if (skip && name == *skip) continue;
       for (const auto& b : e.cq.branches) {
         if (probe.init.overlaps(b.init))
           min_stage = std::max(min_stage, e.cq.max_stage() + 1);
@@ -92,13 +94,44 @@ Controller::OpStats Controller::remove(const std::string& name) {
 Controller::OpStats Controller::update(const std::string& name,
                                        const Query& new_q,
                                        CompileOptions opts) {
-  const OpStats rm = remove(name);
+  static telemetry::Histogram& rm_latency = op_latency("withdraw");
+  static telemetry::Counter& rm_rule_ops = op_rule_ops("withdraw");
+  static telemetry::Histogram& ins_latency = op_latency("install");
+  static telemetry::Counter& ins_rule_ops = op_rule_ops("install");
+  check_mutation_guard();
+  auto it = queries_.find(name);
+  if (it == queries_.end())
+    throw std::invalid_argument("Controller: unknown query: " + name);
   Query q = new_q;
   q.name = name;
-  const OpStats ins = install(q, opts);
+  // Compile BEFORE touching the switch: a compile failure leaves the old
+  // query running untouched.  Chaining must ignore the entry being replaced
+  // (its traffic overlaps the new version's by definition).
+  opts.min_stage = std::max(opts.min_stage, chain_min_stage(q, &name));
+  CompiledQuery cq = compile_query(q, opts);
+
+  Entry old = std::move(it->second);
+  const std::size_t rm_ops = old.cq.num_table_entries();
+  const double rm_ms = sw_.remove(old.handle);
+  queries_.erase(it);
+  NewtonSwitch::InstallResult res;
+  try {
+    res = sw_.install(cq);
+  } catch (...) {
+    // The switch rejected the new rules: reinstate the old compilation so
+    // the update is a no-op rather than a loss.
+    const auto restored = sw_.install(old.cq);
+    old.handle = restored.handle;
+    queries_[name] = std::move(old);
+    throw;
+  }
+  queries_[name] = {res.handle, std::move(cq)};
+  rm_latency.observe(rm_ms);
+  rm_rule_ops.add(rm_ops);
+  ins_latency.observe(res.latency_ms);
+  ins_rule_ops.add(res.rule_ops);
   // One controller->switch batch: overheads amortize.
-  return {rm.latency_ms + ins.latency_ms - 1.0, rm.rule_ops + ins.rule_ops,
-          ins.qids};
+  return {rm_ms + res.latency_ms - 1.0, rm_ops + res.rule_ops, res.qids};
 }
 
 const CompiledQuery* Controller::compiled(const std::string& name) const {

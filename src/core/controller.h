@@ -36,8 +36,11 @@ class Controller {
   // Remove a query by name.
   OpStats remove(const std::string& name);
 
-  // Update = remove the old rules and install the new compilation as one
-  // rule batch.  Forwarding is never interrupted (contrast Fig. 10).
+  // Update = swap the old rules for the new compilation as one rule batch.
+  // Atomic: the new query is compiled before anything is touched, and if
+  // the switch rejects the new rules the old ones are reinstated — a failed
+  // update never loses the running query.  Forwarding is never interrupted
+  // (contrast Fig. 10).
   OpStats update(const std::string& name, const Query& new_q,
                  CompileOptions opts = {});
 
@@ -66,8 +69,10 @@ class Controller {
   void check_mutation_guard() const;
 
   // Lowest stage the new compilation may use given traffic overlap with
-  // already-installed queries.
-  std::size_t chain_min_stage(const Query& q) const;
+  // already-installed queries.  `skip` names an installed query to ignore —
+  // update() chains against everything except the query being replaced.
+  std::size_t chain_min_stage(const Query& q,
+                              const std::string* skip = nullptr) const;
 
   NewtonSwitch& sw_;
   std::map<std::string, Entry> queries_;

@@ -247,18 +247,29 @@ std::vector<QuerySlice> slice_query_structural(const CompiledQuery& cq,
 
 void resolve_slice_offsets(std::vector<QuerySlice>& slices,
                            std::vector<RangeAllocator>& per_stage) {
+  // All-or-nothing: a failure mid-resolution frees what was already taken,
+  // so a rejected deployment leaves the virtual banks exactly as found.
+  std::vector<std::pair<std::size_t, std::size_t>> taken;
+  auto unwind = [&] {
+    for (const auto& [stage, offset] : taken) per_stage[stage].free(offset);
+  };
   for (QuerySlice& sl : slices) {
     for (auto& b : sl.part.branches) {
       for (ModuleSpec& m : b.modules) {
         if (m.type != ModuleType::S || m.s.bypass || m.alloc_width == 0)
           continue;
         const auto stage = static_cast<std::size_t>(m.stage);
-        if (stage >= per_stage.size())
+        if (stage >= per_stage.size()) {
+          unwind();
           throw std::runtime_error("resolve_slice_offsets: stage out of range");
+        }
         auto off = per_stage[stage].allocate(m.alloc_width);
-        if (!off)
+        if (!off) {
+          unwind();
           throw std::runtime_error(
               "resolve_slice_offsets: virtual state bank exhausted");
+        }
+        taken.push_back({stage, *off});
         m.alloc_offset = static_cast<uint32_t>(*off);
         m.s.index_base = m.alloc_offset;
       }

@@ -257,37 +257,46 @@ NewtonSwitch::Output NewtonSwitch::process(const Packet& pkt,
   init_->execute(phv);
   pipeline_.process(phv);
 
-  // CQE egress: snapshot results toward the next hop if a non-final slice
-  // ran and its query is still live.
-  const SliceRt* running = resumed;
-  if (!running && !slices_.empty() && !phv.active_list.empty()) {
+  // CQE egress: snapshot results toward the next hop for every non-final
+  // slice that ran with its query still live.  A resumed pass continues
+  // exactly one execution; a fresh ingress pass may start one execution per
+  // sliced query the packet activated — each gets its own SP header (the
+  // first lands in sp_out for single-query callers, the rest ride
+  // extra_sp_outs).
+  std::vector<const SliceRt*> runnings;
+  if (resumed) {
+    runnings.push_back(resumed);
+  } else if (!slices_.empty() && !phv.active_list.empty()) {
     for (auto& [h, rt] : slices_) {
-      if (rt.index == 0 &&
-          std::find(rt.qids.begin(), rt.qids.end(), phv.active_list.front()) !=
-              rt.qids.end()) {
-        running = &rt;
-        break;
-      }
+      if (rt.index != 0) continue;
+      bool activated = false;
+      for (uint16_t q : rt.qids)
+        activated |= std::find(phv.active_list.begin(), phv.active_list.end(),
+                               q) != phv.active_list.end();
+      if (activated) runnings.push_back(&rt);
     }
   }
-  if (running && !running->final_slice) {
+  for (const SliceRt* running : runnings) {
+    if (running->final_slice) continue;
     bool still_active = false;
     for (uint16_t q : running->qids) still_active |= phv.active.test(q);
-    if (still_active) {
-      SpHeader sp;
-      sp.qid = static_cast<uint8_t>(running->query_uid);
-      sp.next_slice = static_cast<uint8_t>(running->index + 1);
-      sp.global_result = phv.global_result;
-      if (running->out_hash_set)
-        sp.hash_result = static_cast<uint16_t>(
-            phv.set(static_cast<std::size_t>(*running->out_hash_set))
-                .hash_result);
-      if (running->out_state_set)
-        sp.state_result =
-            phv.set(static_cast<std::size_t>(*running->out_state_set))
-                .state_result;
+    if (!still_active) continue;
+    SpHeader sp;
+    sp.qid = static_cast<uint8_t>(running->query_uid);
+    sp.next_slice = static_cast<uint8_t>(running->index + 1);
+    sp.global_result = phv.global_result;
+    if (running->out_hash_set)
+      sp.hash_result = static_cast<uint16_t>(
+          phv.set(static_cast<std::size_t>(*running->out_hash_set))
+              .hash_result);
+    if (running->out_state_set)
+      sp.state_result =
+          phv.set(static_cast<std::size_t>(*running->out_state_set))
+              .state_result;
+    if (!out.sp_out)
       out.sp_out = sp;
-    }
+    else
+      out.extra_sp_outs.push_back(sp);
   }
   return out;
 }

@@ -53,6 +53,10 @@ class NewtonSwitch {
   struct Output {
     Phv phv;
     std::optional<SpHeader> sp_out;  // CQE snapshot toward the next hop
+    // Additional snapshots when several sliced queries started fresh
+    // executions on this ingress pass (each concurrent query carries its
+    // own SP header; sp_out holds the first for single-query callers).
+    std::vector<SpHeader> extra_sp_outs;
     // True if this switch hosted the slice named by sp_in and executed it
     // (the incoming header must not be forwarded further).
     bool sp_consumed = false;

@@ -1,0 +1,47 @@
+// Deterministic fault schedules for the network simulator: a FaultPlan is a
+// packet-count-ordered list of link/switch failure and repair events.  A
+// plan is pure data — replaying the same plan against the same trace gives
+// a bit-identical run, which is what makes the resilience claims testable
+// (docs/fault.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace newton {
+
+struct FaultEvent {
+  enum class Kind : uint8_t { LinkDown, LinkUp, SwitchDown, SwitchUp };
+  Kind kind = Kind::LinkDown;
+  // Fires just before the packet with this 0-based index is sent.
+  uint64_t at_packet = 0;
+  int a = -1;  // link endpoint, or the switch id for switch events
+  int b = -1;  // other link endpoint (unused for switch events)
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // kept sorted by at_packet
+
+  void sort();
+  bool empty() const { return events.empty(); }
+  std::string describe(const Topology& t) const;
+};
+
+// Deterministic, seedable random plan: `n_link_events` inter-switch links
+// go down at random packet positions in [horizon/10, horizon), each coming
+// back `repair_after` packets later.  Only failures that keep every host
+// pair connected are kept (drops under partition are exercised by dedicated
+// tests, not by the randomized sweep), so every packet of the sweep still
+// has a route and report equivalence stays a meaningful assertion.
+FaultPlan make_random_link_plan(const Topology& t, uint32_t seed,
+                                std::size_t n_link_events,
+                                uint64_t horizon_packets,
+                                uint64_t repair_after);
+
+// True when every host can reach every other host over live elements.
+bool all_hosts_connected(const Topology& t);
+
+}  // namespace newton

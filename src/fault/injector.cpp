@@ -1,0 +1,67 @@
+#include "fault/injector.h"
+
+#include <limits>
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace newton {
+
+namespace {
+
+telemetry::Counter& events_counter(const char* kind) {
+  return telemetry::Registry::global().counter(
+      "newton_fault_events_applied_total",
+      "Fault-plan events fired against the network", {{"kind", kind}});
+}
+
+const char* kind_label(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::LinkDown: return "link_down";
+    case FaultEvent::Kind::LinkUp: return "link_up";
+    case FaultEvent::Kind::SwitchDown: return "switch_down";
+    case FaultEvent::Kind::SwitchUp: return "switch_up";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(Network& net, FaultPlan plan,
+                             NetworkController* ctl)
+    : net_(net), plan_(std::move(plan)), ctl_(ctl) {
+  plan_.sort();
+}
+
+void FaultInjector::advance(uint64_t packet_index) {
+  while (next_ < plan_.events.size() &&
+         plan_.events[next_].at_packet <= packet_index)
+    apply(plan_.events[next_++]);
+}
+
+void FaultInjector::finish() {
+  advance(std::numeric_limits<uint64_t>::max());
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  Topology& t = net_.topo();
+  switch (e.kind) {
+    case FaultEvent::Kind::LinkDown:
+      t.fail_link(e.a, e.b);
+      break;
+    case FaultEvent::Kind::LinkUp:
+      t.restore_link(e.a, e.b);
+      break;
+    case FaultEvent::Kind::SwitchDown:
+      t.fail_node(e.a);
+      if (ctl_) ctl_->on_switch_failed(e.a);
+      break;
+    case FaultEvent::Kind::SwitchUp:
+      t.restore_node(e.a);
+      if (ctl_) ctl_->on_switch_restored(e.a);
+      break;
+  }
+  events_counter(kind_label(e.kind)).add();
+}
+
+}  // namespace newton

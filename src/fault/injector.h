@@ -1,0 +1,42 @@
+// Replays a FaultPlan against a live Network: the caller advances a packet
+// counter and the injector fires every due event — failing/restoring links
+// and switches in the topology (routing reroutes immediately, Network drops
+// when partitioned) and notifying the NetworkController so deployments fail
+// over / recover (delta re-placement, degraded marking).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+#include "net/net_controller.h"
+#include "net/network.h"
+
+namespace newton {
+
+class FaultInjector {
+ public:
+  // `ctl` may be null (pure data-plane fault replay, no failover).
+  FaultInjector(Network& net, FaultPlan plan,
+                NetworkController* ctl = nullptr);
+
+  // Fire every event scheduled at or before `packet_index`; call once per
+  // packet, just before sending the packet with that 0-based index.
+  void advance(uint64_t packet_index);
+
+  // Fire everything left in the plan (end-of-trace repairs).
+  void finish();
+
+  std::size_t events_applied() const { return next_; }
+  bool done() const { return next_ >= plan_.events.size(); }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void apply(const FaultEvent& e);
+
+  Network& net_;
+  FaultPlan plan_;
+  NetworkController* ctl_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace newton

@@ -1,0 +1,51 @@
+// Control-channel fault model for rule installs: which switches reject the
+// next rule batch (transient flake) or every batch (dead management plane).
+// Header-only and std-only so the network controller can consult it without
+// a dependency on the fault library proper — tests and the FaultInjector
+// hand one to NetworkController::set_install_faults().
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+
+namespace newton {
+
+class InstallFaultModel {
+ public:
+  // The next `n` install attempts on `sw` fail, then the switch recovers
+  // (a transiently-flaky control channel; retries eventually succeed).
+  void fail_next(int sw, std::size_t n) { transient_[sw] += n; }
+
+  // Every install attempt on `sw` fails until restore() (the switch's
+  // management plane is down for good).
+  void fail_always(int sw) { permanent_.insert(sw); }
+
+  void restore(int sw) {
+    permanent_.erase(sw);
+    transient_.erase(sw);
+  }
+
+  // One install attempt on `sw`: consumes a transient fault if armed.
+  bool should_fail(int sw) {
+    if (permanent_.contains(sw)) {
+      ++injected_;
+      return true;
+    }
+    const auto it = transient_.find(sw);
+    if (it == transient_.end() || it->second == 0) return false;
+    if (--it->second == 0) transient_.erase(it);
+    ++injected_;
+    return true;
+  }
+
+  std::size_t faults_injected() const { return injected_; }
+
+ private:
+  std::map<int, std::size_t> transient_;  // switch -> remaining failures
+  std::set<int> permanent_;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace newton

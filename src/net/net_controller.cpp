@@ -1,8 +1,116 @@
 #include "net/net_controller.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace newton {
+
+namespace {
+
+struct FaultCounters {
+  telemetry::Counter& retries;
+  telemetry::Counter& rollbacks;
+  telemetry::Counter& failovers;
+  telemetry::Counter& delta_installs;
+  telemetry::Counter& delta_withdrawals;
+  telemetry::Gauge& degraded;
+
+  static FaultCounters& get() {
+    auto& reg = telemetry::Registry::global();
+    static FaultCounters c{
+        reg.counter("newton_net_install_retries_total",
+                    "Per-switch rule-batch retries after a transient "
+                    "control-channel failure"),
+        reg.counter("newton_net_install_rollbacks_total",
+                    "Whole-placement installs aborted and rolled back"),
+        reg.counter("newton_net_failovers_total",
+                    "Switch-death reconciliations (re-placement on the "
+                    "surviving topology)"),
+        reg.counter("newton_net_delta_installs_total",
+                    "Slices installed by failover reconciliation"),
+        reg.counter("newton_net_delta_withdrawals_total",
+                    "Slices withdrawn by failover reconciliation"),
+        reg.gauge("newton_net_degraded_deployments",
+                  "Deployments currently running with partial coverage")};
+    return c;
+  }
+};
+
+}  // namespace
+
+bool NetworkController::any_degraded() const {
+  return std::any_of(deployments_.begin(), deployments_.end(),
+                     [](const auto& kv) { return kv.second.degraded; });
+}
+
+NewtonSwitch::InstallResult NetworkController::install_with_retry(
+    int sw_node, const QuerySlice& slice, Deployment& d) {
+  double backoff = retry_.base_backoff_ms;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      if (install_faults_ && install_faults_->should_fail(sw_node))
+        throw std::runtime_error("install: switch " + std::to_string(sw_node) +
+                                 " rejected the rule batch");
+      return net_.sw(sw_node).install_slice(slice, d.uid, /*resolve=*/false);
+    } catch (const std::exception&) {
+      if (attempt >= retry_.max_attempts) throw;
+      ++fault_stats_.install_retries;
+      FaultCounters::get().retries.add();
+      // Modeled exponential backoff: charged to the deployment's control
+      // latency rather than slept, keeping tests instant.
+      d.total_latency_ms += backoff;
+      backoff *= 2;
+    }
+  }
+}
+
+void NetworkController::install_one_slice(Deployment& d, int sw_node,
+                                          std::size_t si) {
+  const auto res = install_with_retry(sw_node, d.slices[si], d);
+  d.handles[sw_node].push_back(res.handle);
+  d.by_slice[sw_node][si] = res.handle;
+  d.total_latency_ms = std::max(d.total_latency_ms, res.latency_ms);
+  d.total_rule_ops += res.rule_ops;
+  if (analyzer_)
+    for (uint16_t qid : res.qids)
+      analyzer_->register_qid(static_cast<uint32_t>(sw_node), qid, d.query, 0);
+}
+
+void NetworkController::remove_slice_handle(Deployment& d, int sw_node,
+                                            std::size_t si) {
+  auto sw_it = d.by_slice.find(sw_node);
+  if (sw_it == d.by_slice.end()) return;
+  const auto h_it = sw_it->second.find(si);
+  if (h_it == sw_it->second.end()) return;
+  const uint64_t h = h_it->second;
+  net_.sw(sw_node).remove(h);
+  sw_it->second.erase(h_it);
+  if (sw_it->second.empty()) d.by_slice.erase(sw_it);
+  auto& hv = d.handles[sw_node];
+  hv.erase(std::remove(hv.begin(), hv.end(), h), hv.end());
+  if (hv.empty()) d.handles.erase(sw_node);
+}
+
+void NetworkController::free_central(Deployment& d) {
+  for (const auto& [stage, offset] : d.central_allocs)
+    central_alloc_.at(stage).free(offset);
+  d.central_allocs.clear();
+}
+
+void NetworkController::rollback(Deployment& d) {
+  // Abort phase of the two-phase install: withdraw every slice already
+  // installed and release the central register ranges, leaving no trace.
+  for (const auto& [sw_node, handles] : d.handles)
+    for (uint64_t h : handles) net_.sw(sw_node).remove(h);
+  d.handles.clear();
+  d.by_slice.clear();
+  free_central(d);
+  ++fault_stats_.rollbacks;
+  FaultCounters::get().rollbacks.add();
+}
 
 const NetworkController::Deployment& NetworkController::deploy(
     const Query& q, CompileOptions opts, std::vector<int> ingress_edges) {
@@ -21,22 +129,60 @@ const NetworkController::Deployment& NetworkController::deploy(
   Deployment d;
   d.query = q.name;
   d.uid = next_uid_++;
-  d.slices = slices;
+  d.slices = std::move(slices);
   d.placement = placement;
+  d.ingress_edges = std::move(ingress_edges);
+  for (const QuerySlice& sl : d.slices)
+    for (const auto& b : sl.part.branches)
+      for (const ModuleSpec& m : b.modules)
+        if (m.type == ModuleType::S && !m.s.bypass && m.alloc_width > 0)
+          d.central_allocs.push_back(
+              {static_cast<std::size_t>(m.stage), m.alloc_offset});
 
-  for (const auto& [sw_node, slice_idxs] : placement.assignment) {
-    if (!net_.has_switch(sw_node)) continue;
-    for (std::size_t si : slice_idxs) {
-      const auto res = net_.sw(sw_node).install_slice(slices[si], d.uid,
-                                                      /*resolve=*/false);
-      d.handles[sw_node].push_back(res.handle);
-      d.total_latency_ms = std::max(d.total_latency_ms, res.latency_ms);
-      d.total_rule_ops += res.rule_ops;
-      if (analyzer_)
-        for (uint16_t qid : res.qids)
-          analyzer_->register_qid(static_cast<uint32_t>(sw_node), qid, q.name,
-                                  0);
+  // Phase 1 (prepare): install every slice, retrying transient flakes.  Any
+  // permanent failure aborts the whole placement.
+  try {
+    for (const auto& [sw_node, slice_idxs] : placement.assignment) {
+      if (!net_.has_switch(sw_node) || !net_.topo().node_up(sw_node)) continue;
+      for (std::size_t si : slice_idxs) install_one_slice(d, sw_node, si);
     }
+  } catch (...) {
+    rollback(d);
+    throw;
+  }
+  // Phase 2 (commit): the placement is complete; publish it.
+  return deployments_[q.name] = std::move(d);
+}
+
+const NetworkController::Deployment& NetworkController::deploy_path(
+    const Query& q, const std::vector<int>& sw_path, CompileOptions opts) {
+  if (deployments_.contains(q.name))
+    throw std::invalid_argument("deploy_path: already deployed: " + q.name);
+
+  CompiledQuery cq = compile_query(q, opts);
+  std::vector<QuerySlice> slices =
+      slice_query(cq, net_.stages_per_switch());
+  resolve_slice_offsets(slices, central_alloc_);
+
+  Deployment d;
+  d.query = q.name;
+  d.uid = next_uid_++;
+  d.slices = std::move(slices);
+  d.resilient = false;
+  for (const QuerySlice& sl : d.slices)
+    for (const auto& b : sl.part.branches)
+      for (const ModuleSpec& m : b.modules)
+        if (m.type == ModuleType::S && !m.s.bypass && m.alloc_width > 0)
+          d.central_allocs.push_back(
+              {static_cast<std::size_t>(m.stage), m.alloc_offset});
+
+  try {
+    d.placement = place_on_path(sw_path, d.slices.size());
+    for (const auto& [sw_node, slice_idxs] : d.placement.assignment)
+      for (std::size_t si : slice_idxs) install_one_slice(d, sw_node, si);
+  } catch (...) {
+    rollback(d);
+    throw;
   }
   return deployments_[q.name] = std::move(d);
 }
@@ -50,15 +196,26 @@ const NetworkController::Deployment& NetworkController::deploy_sole(
   Deployment d;
   d.query = q.name;
   d.uid = next_uid_++;
-  for (int sw_node : net_.topo().switches()) {
-    const auto res = net_.sw(sw_node).install(cq);
-    d.handles[sw_node].push_back(res.handle);
-    d.total_latency_ms = std::max(d.total_latency_ms, res.latency_ms);
-    d.total_rule_ops += res.rule_ops;
-    if (analyzer_)
-      for (std::size_t bi = 0; bi < res.qids.size(); ++bi)
-        analyzer_->register_qid(static_cast<uint32_t>(sw_node), res.qids[bi],
-                                q.name, bi);
+  d.resilient = false;
+  try {
+    for (int sw_node : net_.topo().switches()) {
+      if (!net_.topo().node_up(sw_node)) continue;
+      if (install_faults_ && install_faults_->should_fail(sw_node))
+        throw std::runtime_error("install: switch " +
+                                 std::to_string(sw_node) +
+                                 " rejected the rule batch");
+      const auto res = net_.sw(sw_node).install(cq);
+      d.handles[sw_node].push_back(res.handle);
+      d.total_latency_ms = std::max(d.total_latency_ms, res.latency_ms);
+      d.total_rule_ops += res.rule_ops;
+      if (analyzer_)
+        for (std::size_t bi = 0; bi < res.qids.size(); ++bi)
+          analyzer_->register_qid(static_cast<uint32_t>(sw_node),
+                                  res.qids[bi], q.name, bi);
+    }
+  } catch (...) {
+    rollback(d);
+    throw;
   }
   return deployments_[q.name] = std::move(d);
 }
@@ -69,7 +226,106 @@ void NetworkController::withdraw(const std::string& name) {
     throw std::invalid_argument("withdraw: unknown deployment: " + name);
   for (const auto& [sw_node, handles] : it->second.handles)
     for (uint64_t h : handles) net_.sw(sw_node).remove(h);
+  // Stranded rules on dead switches are cleaned too: withdrawing a query is
+  // a management operation, and the stale handles must not fire if the
+  // switch later returns.
+  for (const auto& [sw_node, handles] : it->second.orphaned)
+    for (uint64_t h : handles) net_.sw(sw_node).remove(h);
+  free_central(it->second);
   deployments_.erase(it);
+  FaultCounters::get().degraded.set(static_cast<int64_t>(std::count_if(
+      deployments_.begin(), deployments_.end(),
+      [](const auto& kv) { return kv.second.degraded; })));
+}
+
+void NetworkController::refresh_degraded(Deployment& d) {
+  // Coverage is partial while any switch is down, stale rules are stranded,
+  // or (for resilient deployments) some live placed slice has no handle —
+  // e.g. a delta install that keeps failing.
+  bool missing = false;
+  if (d.resilient) {
+    for (const auto& [sw_node, slice_idxs] : d.placement.assignment) {
+      if (!net_.has_switch(sw_node) || !net_.topo().node_up(sw_node)) continue;
+      for (std::size_t si : slice_idxs) {
+        const auto it = d.by_slice.find(sw_node);
+        if (it == d.by_slice.end() || !it->second.contains(si)) missing = true;
+      }
+    }
+  }
+  d.degraded =
+      !d.orphaned.empty() || !net_.topo().failed_nodes.empty() || missing;
+  FaultCounters::get().degraded.set(static_cast<int64_t>(std::count_if(
+      deployments_.begin(), deployments_.end(),
+      [](const auto& kv) { return kv.second.degraded; })));
+}
+
+void NetworkController::reconcile(Deployment& d) {
+  // Algorithm 2 on the surviving topology, then diff against what is
+  // installed: only the delta touches switches.
+  std::vector<int> ingress;
+  for (int e : d.ingress_edges)
+    if (net_.topo().node_up(e)) ingress.push_back(e);
+  const Placement fresh =
+      place_resilient(net_.topo(), ingress, d.slices.size());
+
+  // Delta withdrawals: slices no longer needed on a live switch.
+  for (const auto& [sw_node, slice_idxs] : d.placement.assignment) {
+    if (!net_.has_switch(sw_node) || !net_.topo().node_up(sw_node)) continue;
+    for (std::size_t si : slice_idxs) {
+      if (fresh.has(sw_node, si)) continue;
+      remove_slice_handle(d, sw_node, si);
+      ++fault_stats_.delta_withdrawals;
+      FaultCounters::get().delta_withdrawals.add();
+    }
+  }
+  // Delta installs: slices the new placement adds.
+  for (const auto& [sw_node, slice_idxs] : fresh.assignment) {
+    if (!net_.has_switch(sw_node)) continue;
+    for (std::size_t si : slice_idxs) {
+      const auto it = d.by_slice.find(sw_node);
+      if (it != d.by_slice.end() && it->second.contains(si)) continue;
+      try {
+        install_one_slice(d, sw_node, si);
+        ++fault_stats_.delta_installs;
+        FaultCounters::get().delta_installs.add();
+      } catch (const std::exception&) {
+        // Leave the hole: the deployment stays degraded, a later
+        // reconciliation retries.
+      }
+    }
+  }
+  d.placement = fresh;
+}
+
+void NetworkController::on_switch_failed(int sw_node) {
+  for (auto& [name, d] : deployments_) {
+    // The dead switch's rules are unreachable: orphan the handles so a
+    // recovery can clean them up, and forget its placement entries.
+    if (const auto it = d.handles.find(sw_node); it != d.handles.end()) {
+      auto& orph = d.orphaned[sw_node];
+      orph.insert(orph.end(), it->second.begin(), it->second.end());
+      d.handles.erase(it);
+    }
+    d.by_slice.erase(sw_node);
+    d.placement.assignment.erase(sw_node);
+    if (d.resilient) reconcile(d);
+    refresh_degraded(d);
+  }
+  ++fault_stats_.failovers;
+  FaultCounters::get().failovers.add();
+}
+
+void NetworkController::on_switch_restored(int sw_node) {
+  for (auto& [name, d] : deployments_) {
+    // A returning switch boots with its old (stale) rules: clear them
+    // before the reconciliation decides what it should actually hold.
+    if (const auto it = d.orphaned.find(sw_node); it != d.orphaned.end()) {
+      for (uint64_t h : it->second) net_.sw(sw_node).remove(h);
+      d.orphaned.erase(it);
+    }
+    if (d.resilient) reconcile(d);
+    refresh_degraded(d);
+  }
 }
 
 const NetworkController::Deployment* NetworkController::deployment(

@@ -4,18 +4,36 @@
 // and installs the rules.  Also provides the sole-execution baseline
 // (the full query independently on every switch) that Fig. 13 compares
 // against.
+//
+// Installs are transactional: each switch's rule batch is retried with
+// (modeled) exponential backoff when the control channel flakes, and a
+// placement that cannot complete rolls back every slice already installed —
+// including the centrally allocated register ranges — so a query is never
+// half-placed.  When a switch dies, on_switch_failed() re-runs Algorithm 2
+// on the surviving topology and issues only the delta installs/withdrawals,
+// marking the deployment degraded until coverage is whole again
+// (docs/fault.md).
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "analyzer/analyzer.h"
 #include "core/cqe.h"
+#include "fault/install_faults.h"
 #include "net/network.h"
 #include "net/placement.h"
 
 namespace newton {
+
+// Retry-with-exponential-backoff policy for one switch's rule batch.  The
+// backoff is modeled (added to the deployment's control latency), not slept.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;  // first try + 3 retries
+  double base_backoff_ms = 2.0;  // doubles per retry
+};
 
 class NetworkController {
  public:
@@ -37,9 +55,33 @@ class NetworkController {
     uint16_t uid = 0;
     std::vector<QuerySlice> slices;
     Placement placement;
+    std::vector<int> ingress_edges;  // seeds for re-placement on failover
     double total_latency_ms = 0;
     std::size_t total_rule_ops = 0;
     std::map<int, std::vector<uint64_t>> handles;  // switch -> install handles
+    // Resilient deployments: (switch, slice) -> handle, so failover can
+    // withdraw individual slices.  Empty for sole/path deployments.
+    std::map<int, std::map<std::size_t, uint64_t>> by_slice;
+    // Centrally allocated (stage, offset) register ranges — freed on
+    // withdraw or rollback.
+    std::vector<std::pair<std::size_t, std::size_t>> central_allocs;
+    // Handles stranded on dead switches; cleaned up if the switch returns.
+    std::map<int, std::vector<uint64_t>> orphaned;
+    // True while coverage is partial (some switch down, or stale rules
+    // stranded): reports may under-count until recovery completes.
+    bool degraded = false;
+    // False for deploy_path/deploy_sole — those are not re-placed on
+    // failure (the control arm must stay naive).
+    bool resilient = true;
+  };
+
+  // Running totals of the fault machinery (mirrored into telemetry).
+  struct FaultStats {
+    uint64_t install_retries = 0;   // per-switch batch retries after a flake
+    uint64_t rollbacks = 0;         // whole-placement aborts
+    uint64_t failovers = 0;         // switch-death reconciliations
+    uint64_t delta_installs = 0;    // slices added by a reconcile
+    uint64_t delta_withdrawals = 0; // slices removed by a reconcile
   };
 
   // Resilient CQE deployment across all possible paths from the monitored
@@ -47,19 +89,54 @@ class NetworkController {
   const Deployment& deploy(const Query& q, CompileOptions opts = {},
                            std::vector<int> ingress_edges = {});
 
+  // Naive shortest-path-only deployment: slice i on the i-th switch of
+  // `sw_path` only.  The control baseline of the fault-injection tests — a
+  // reroute off the path loses the downstream slices.
+  const Deployment& deploy_path(const Query& q, const std::vector<int>& sw_path,
+                                CompileOptions opts = {});
+
   // Sole-execution baseline: every switch runs the full query.
   const Deployment& deploy_sole(const Query& q, CompileOptions opts = {});
 
   void withdraw(const std::string& name);
 
+  // Failure notifications (the FaultInjector calls these after flipping the
+  // topology state).  on_switch_failed orphans the dead switch's rules and
+  // re-places every resilient deployment on the surviving topology;
+  // on_switch_restored clears stale rules from the returning switch and
+  // re-places to restore full coverage.
+  void on_switch_failed(int sw_node);
+  void on_switch_restored(int sw_node);
+
+  // Fault model consulted before every per-switch install attempt (null =
+  // no injected install faults).  Not owned.
+  void set_install_faults(InstallFaultModel* m) { install_faults_ = m; }
+  void set_retry_policy(RetryPolicy p) { retry_ = p; }
+
   const Deployment* deployment(const std::string& name) const;
   const std::vector<QuerySlice>* slices_of(const std::string& name) const;
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  // Any deployment currently running with partial coverage?
+  bool any_degraded() const;
 
  private:
+  NewtonSwitch::InstallResult install_with_retry(int sw_node,
+                                                 const QuerySlice& slice,
+                                                 Deployment& d);
+  void install_one_slice(Deployment& d, int sw_node, std::size_t si);
+  void remove_slice_handle(Deployment& d, int sw_node, std::size_t si);
+  void rollback(Deployment& d);
+  void reconcile(Deployment& d);
+  void refresh_degraded(Deployment& d);
+  void free_central(Deployment& d);
+
   Network& net_;
   Analyzer* analyzer_;
+  InstallFaultModel* install_faults_ = nullptr;
+  RetryPolicy retry_;
   std::vector<RangeAllocator> central_alloc_;
   std::map<std::string, Deployment> deployments_;
+  FaultStats fault_stats_;
   uint16_t next_uid_ = 1;
 };
 

@@ -23,6 +23,7 @@ struct NetCounters {
   telemetry::Counter& hops;
   telemetry::Counter& sp_bytes;
   telemetry::Counter& deferred;
+  telemetry::Counter& dropped;
 
   static NetCounters& get() {
     auto& reg = telemetry::Registry::global();
@@ -33,7 +34,10 @@ struct NetCounters {
                     "SP (result snapshot) header bytes carried on links"),
         reg.counter("newton_cqe_deferred_total",
                     "Executions handed to the software deferred handler at "
-                    "the egress edge")};
+                    "the egress edge"),
+        reg.counter("newton_net_dropped_packets_total",
+                    "Packets dropped for lack of a live route (the network "
+                    "was partitioned by link/switch failures)")};
     return c;
   }
 };
@@ -54,7 +58,11 @@ Network::SendStats Network::send(const Packet& pkt, int src_host,
   const uint32_t fh = static_cast<uint32_t>(
       FiveTupleHash{}(FiveTuple::of(pkt)));
   const auto path = route(topo_, src_host, dst_host, fh);
-  if (!path) return {};
+  if (!path) {
+    ++packets_dropped_;
+    NetCounters::get().dropped.add();
+    return {};
+  }
   return send_along(pkt, switches_on(topo_, *path));
 }
 
@@ -63,48 +71,70 @@ Network::SendStats Network::send_along(const Packet& pkt,
   SendStats st;
   NetCounters& tc = NetCounters::get();
   ++packets_sent_;
-  std::optional<SpHeader> sp;
+  // Every concurrent sliced query carries its own SP header, so a packet
+  // that activates several queries at the ingress edge hauls a small header
+  // stack hop to hop (each header is 12 wire bytes on every link).
+  std::vector<SpHeader> sps;
   bool first_hop = true;
   for (int node : sw_path) {
     ++st.hops;
     tc.hops.add();
     auto& sw = *switches_.at(node);
-    // The snapshot crosses the link as 12 wire bytes; encode/decode at each
-    // hop exercises the real SP codec end to end.
-    std::optional<SpHeader> sp_in;
-    if (sp) {
-      const auto wire = sp_encode(*sp);
-      sp_in = sp_decode(wire.data(), wire.size());
+    if (first_hop) {
+      // Ingress edge: one pass dispatches slice 0 of every activated query.
+      const auto out = sw.process(pkt, std::nullopt, /*at_ingress_edge=*/true);
+      if (out.sp_out) {
+        slice_traversals(0).add();
+        sps.push_back(*out.sp_out);
+      }
+      for (const SpHeader& sp : out.extra_sp_outs) {
+        slice_traversals(0).add();
+        sps.push_back(sp);
+      }
+      first_hop = false;
+    } else {
+      // Downstream hop: resume each carried execution independently — the
+      // PHV has only two metadata sets, so concurrent resumptions cannot
+      // share a pipeline pass.  Headers this switch hosts no slice for are
+      // carried through untouched.
+      if (sps.empty()) {
+        // No executions in flight: an empty pass still advances the
+        // switch's window epoch off the packet timestamp.
+        sw.process(pkt, std::nullopt, /*at_ingress_edge=*/false);
+      }
+      std::vector<SpHeader> carried;
+      for (const SpHeader& sp : sps) {
+        // The snapshot crosses the link as 12 wire bytes; encode/decode at
+        // each hop exercises the real SP codec end to end.
+        const auto wire = sp_encode(sp);
+        const auto sp_in = sp_decode(wire.data(), wire.size());
+        const auto out = sw.process(pkt, sp_in, /*at_ingress_edge=*/false);
+        if (out.sp_consumed) {
+          // This hop hosted and ran the slice the header addressed.
+          slice_traversals(sp_in->next_slice).add();
+          if (out.sp_out) carried.push_back(*out.sp_out);
+          // else: final slice ran (or the query stopped itself).
+        } else {
+          carried.push_back(sp);  // no successor slice here; keep carrying
+        }
+      }
+      sps = std::move(carried);
     }
-    const auto out = sw.process(pkt, sp_in, /*at_ingress_edge=*/first_hop);
-    first_hop = false;
-    if (out.sp_consumed && sp_in) {
-      // This hop hosted and ran the slice the header addressed.
-      slice_traversals(sp_in->next_slice).add();
-    } else if (!sp_in && out.sp_out) {
-      // A fresh execution started here: slice 0 ran and snapshotted onward.
-      slice_traversals(0).add();
-    }
-    if (out.sp_out) {
-      sp = out.sp_out;
-    } else if (out.sp_consumed) {
-      sp.reset();  // final slice ran (or the query stopped itself)
-    }
-    // else: this hop hosts no successor slice; keep carrying the header.
-    if (sp) {
-      st.sp_link_bytes += kSpHeaderBytes;
-      sp_link_bytes_ += kSpHeaderBytes;
-      tc.sp_bytes.add(kSpHeaderBytes);
+    const std::size_t sp_bytes = kSpHeaderBytes * sps.size();
+    if (sp_bytes) {
+      st.sp_link_bytes += sp_bytes;
+      sp_link_bytes_ += sp_bytes;
+      tc.sp_bytes.add(sp_bytes);
     }
     payload_link_bytes_ += pkt.wire_len;
   }
   st.delivered = true;
-  if (sp) {
+  for (const SpHeader& sp : sps) {
     // Egress with an unfinished query: switches strip the SP header before
     // the packet reaches end hosts; the snapshot is mirrored to software.
     st.deferred = true;
     tc.deferred.add();
-    if (deferred_) deferred_(pkt, *sp);
+    if (deferred_) deferred_(pkt, sp);
   }
   return st;
 }

@@ -48,6 +48,8 @@ class Network {
   }
 
   uint64_t packets_sent() const { return packets_sent_; }
+  // Packets with no live route (network partitioned by failures).
+  uint64_t packets_dropped() const { return packets_dropped_; }
   uint64_t total_sp_link_bytes() const { return sp_link_bytes_; }
   uint64_t total_payload_link_bytes() const { return payload_link_bytes_; }
 
@@ -57,6 +59,7 @@ class Network {
   std::map<int, std::unique_ptr<NewtonSwitch>> switches_;
   std::function<void(const Packet&, const SpHeader&)> deferred_;
   uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
   uint64_t sp_link_bytes_ = 0;
   uint64_t payload_link_bytes_ = 0;
 };

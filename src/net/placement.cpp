@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 #include <set>
+#include <stdexcept>
 
 namespace newton {
 
@@ -25,8 +26,8 @@ Placement place_resilient(const Topology& t,
   for (int s : edge_switches) {
     // Callers seed this from traffic descriptions, which may name host
     // nodes; only switches can host a slice, so a host id must not be
-    // assigned slice 0 of the layering.
-    if (!t.is_switch(s)) continue;
+    // assigned slice 0 of the layering.  Dead switches host nothing.
+    if (!t.is_switch(s) || !t.node_up(s)) continue;
     if (seen.insert({s, 1}).second) q.push({s, 1});
   }
   while (!q.empty()) {
@@ -42,6 +43,17 @@ Placement place_resilient(const Topology& t,
     }
   }
   for (auto& [s, slices] : p.assignment) std::sort(slices.begin(), slices.end());
+  return p;
+}
+
+Placement place_on_path(const std::vector<int>& sw_path,
+                        std::size_t num_slices) {
+  if (sw_path.size() < num_slices)
+    throw std::invalid_argument(
+        "place_on_path: path shorter than the slice sequence");
+  Placement p;
+  for (std::size_t i = 0; i < num_slices; ++i)
+    p.assignment[sw_path[i]].push_back(i);
   return p;
 }
 

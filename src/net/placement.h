@@ -31,10 +31,20 @@ struct Placement {
 };
 
 // Run Algorithm 2 from the given ingress edge switches for a query of
-// `num_slices` partitions.
+// `num_slices` partitions.  Failed switches (and switches only reachable
+// through failed elements) receive nothing; on a disconnected topology the
+// placement degrades to whatever is reachable.
 Placement place_resilient(const Topology& t,
                           const std::vector<int>& edge_switches,
                           std::size_t num_slices);
+
+// Naive shortest-path-only placement: slice i goes onto the i-th switch of
+// one concrete path.  This is the strawman Algorithm 2 exists to beat — a
+// reroute off `sw_path` loses the downstream slices (tests use it as the
+// control arm of the fault-injection experiments).  The path must hold at
+// least `num_slices` switches.
+Placement place_on_path(const std::vector<int>& sw_path,
+                        std::size_t num_slices);
 
 struct PlacementStats {
   std::size_t total_entries = 0;

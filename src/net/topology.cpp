@@ -25,9 +25,17 @@ void Topology::restore_link(int a, int b) {
 }
 
 bool Topology::link_up(int a, int b) const {
-  return adj.at(a).contains(b) &&
+  return adj.at(a).contains(b) && node_up(a) && node_up(b) &&
          !failed.contains({std::min(a, b), std::max(a, b)});
 }
+
+void Topology::fail_node(int n) {
+  if (!is_switch(n))
+    throw std::invalid_argument("fail_node: only switches can fail");
+  failed_nodes.insert(n);
+}
+
+void Topology::restore_node(int n) { failed_nodes.erase(n); }
 
 std::vector<int> Topology::neighbors(int n) const {
   std::vector<int> out;
@@ -53,6 +61,7 @@ std::vector<int> Topology::hosts() const {
 std::vector<int> Topology::edge_switches() const {
   std::vector<int> out;
   for (int s : switches()) {
+    if (!node_up(s)) continue;
     for (int n : adj[s]) {
       if (nodes[n].type == NodeType::Host) {
         out.push_back(s);

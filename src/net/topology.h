@@ -22,6 +22,7 @@ struct Topology {
   std::vector<Node> nodes;
   std::vector<std::set<int>> adj;           // undirected links
   std::set<std::pair<int, int>> failed;     // failed links (min,max) pairs
+  std::set<int> failed_nodes;               // failed (dead) switch nodes
 
   int add_node(NodeType type, std::string name);
   void add_link(int a, int b);
@@ -29,6 +30,10 @@ struct Topology {
   void fail_link(int a, int b);
   void restore_link(int a, int b);
   bool link_up(int a, int b) const;
+  // Fail / restore a whole switch: all of its links go down with it.
+  void fail_node(int n);
+  void restore_node(int n);
+  bool node_up(int n) const { return !failed_nodes.contains(n); }
 
   // Live neighbors of `n`.
   std::vector<int> neighbors(int n) const;
@@ -37,7 +42,7 @@ struct Topology {
   bool is_switch(int n) const {
     return nodes.at(static_cast<std::size_t>(n)).type == NodeType::Switch;
   }
-  // Switches adjacent to at least one host (candidate first hops).
+  // Live switches adjacent to at least one host (candidate first hops).
   std::vector<int> edge_switches() const;
 };
 

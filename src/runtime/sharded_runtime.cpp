@@ -44,6 +44,12 @@ ShardedRuntime::ShardedRuntime(NewtonSwitch& primary, RuntimeOptions opts,
         std::make_unique<ShardWorker>(i, opts_.queue_capacity));
   stats_.workers.resize(opts_.num_shards);
   flushed_.workers.resize(opts_.num_shards);
+  shard_map_.resize(opts_.num_shards);
+  for (std::size_t i = 0; i < opts_.num_shards; ++i) shard_map_[i] = i;
+  alive_.assign(opts_.num_shards, 1);
+  fences_posted_.assign(opts_.num_shards, 0);
+  live_count_ = opts_.num_shards;
+  stats_.live_shards = live_count_;
   bind_telemetry();
 }
 
@@ -67,6 +73,20 @@ void ShardedRuntime::bind_telemetry() {
       "Wall time of one window barrier: drain reports, merge per-worker "
       "banks, apply mutations, reload replicas",
       {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000});
+  metrics_.failovers =
+      &reg.counter("newton_runtime_worker_failovers_total",
+                   "Shard workers declared dead/hung and failed over");
+  metrics_.redistributed =
+      &reg.counter("newton_runtime_redistributed_packets_total",
+                   "Ring-backlog packets moved to a successor shard during "
+                   "failover");
+  metrics_.abandoned =
+      &reg.counter("newton_runtime_abandoned_packets_total",
+                   "Ring-backlog packets lost with a hung worker (its "
+                   "replica could not be salvaged)");
+  metrics_.live_shards = &reg.gauge(
+      "newton_runtime_live_shards", "Shard workers still processing packets");
+  metrics_.live_shards->set(static_cast<int64_t>(live_count_));
   metrics_.shard_packets.resize(workers_.size());
   metrics_.shard_occupancy.resize(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -89,6 +109,12 @@ void ShardedRuntime::flush_telemetry() {
   metrics_.rule_updates->add(stats_.rule_updates_applied -
                              flushed_.rule_updates_applied);
   metrics_.reports->add(stats_.reports - flushed_.reports);
+  metrics_.failovers->add(stats_.worker_failovers - flushed_.worker_failovers);
+  metrics_.redistributed->add(stats_.redistributed_packets -
+                              flushed_.redistributed_packets);
+  metrics_.abandoned->add(stats_.abandoned_packets -
+                          flushed_.abandoned_packets);
+  metrics_.live_shards->set(static_cast<int64_t>(live_count_));
   for (std::size_t i = 0; i < workers_.size(); ++i)
     metrics_.shard_packets[i]->add(stats_.workers[i].packets -
                                    flushed_.workers[i].packets);
@@ -98,9 +124,13 @@ void ShardedRuntime::flush_telemetry() {
 ShardedRuntime::~ShardedRuntime() {
   if (started_) {
     // Best effort: stop threads without a final drain (finish() was not
-    // called; destructor must not throw).
-    for (auto& w : workers_) w->post({WorkItem::Kind::Stop, {}});
-    for (auto& w : workers_) w->join();
+    // called; destructor must not throw).  Posts to dead workers fail fast
+    // and harmlessly; hung workers are reaped by ~ShardWorker, which
+    // releases their stall before joining.
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      if (alive_[i]) workers_[i]->post({WorkItem::Kind::Stop, {}});
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      if (alive_[i]) workers_[i]->join();
   }
 }
 
@@ -156,10 +186,111 @@ void ShardedRuntime::process(const Packet& pkt) {
     barrier();
     cur_epoch_ = epoch;
   }
-  const std::size_t shard = opts_.shard_key.shard_of(pkt, workers_.size());
-  stats_.backpressure_stalls +=
-      workers_[shard]->post({WorkItem::Kind::Packet, pkt});
+  // Hashes address the fixed bucket set; the map redirects buckets whose
+  // owner failed over.
+  route_packet(opts_.shard_key.shard_of(pkt, shard_map_.size()), pkt);
   ++stats_.packets_in;
+}
+
+void ShardedRuntime::route_packet(std::size_t bucket, const Packet& pkt) {
+  while (true) {
+    const std::size_t wi = shard_map_[bucket];
+    ShardWorker& w = *workers_[wi];
+    const uint64_t hb = w.heartbeat();
+    const auto r = w.ring().push_for({WorkItem::Kind::Packet, pkt},
+                                     opts_.watchdog_stall_ms);
+    stats_.backpressure_stalls += r.stalls;
+    if (r.ok) return;
+    // Push failed: the ring closed (worker crashed), or it stayed full past
+    // the watchdog deadline.  A full ring with an advancing heartbeat is
+    // just a slow worker — retry; frozen heartbeat means a hang.
+    if (!w.dead() && w.heartbeat() != hb) continue;
+    failover(wi);
+  }
+}
+
+void ShardedRuntime::kill_shard_for_test(std::size_t i) {
+  workers_.at(i)->post({WorkItem::Kind::Kill, {}});
+}
+
+void ShardedRuntime::stall_shard_for_test(std::size_t i) {
+  workers_.at(i)->post({WorkItem::Kind::Stall, {}});
+}
+
+void ShardedRuntime::failover(std::size_t wi) {
+  if (!alive_.at(wi)) return;
+  alive_[wi] = 0;
+  --live_count_;
+  if (live_count_ == 0)
+    throw std::runtime_error("ShardedRuntime: every shard worker died");
+  ++stats_.worker_failovers;
+  stats_.live_shards = live_count_;
+
+  ShardWorker& dead = *workers_[wi];
+  // A closed ring means the thread exited on its own (crash simulation or
+  // clean death) and its replica is intact: join and salvage.  Otherwise
+  // the thread is hung — it may still touch its replica, so nothing can be
+  // salvaged; close the ring so no further work lands there, abandon the
+  // backlog, and let the destructor reap the thread.
+  const bool salvage = dead.dead();
+  if (salvage) {
+    dead.join();
+    stats_.workers[wi] = dead.stats();
+  } else {
+    dead.ring().close();
+  }
+
+  // One successor inherits the whole key range: merging the dead replica's
+  // window-partial banks into a single survivor keeps Add counts exact and
+  // Or (distinct-suppression) bits effective; splitting the range would
+  // re-zero the moved keys' state mid-window.
+  std::size_t succ = wi;
+  while (true) {
+    do {
+      succ = (succ + 1) % workers_.size();
+    } while (!alive_[succ]);
+    if (!salvage) break;
+    // Quiesce the successor so its replica is safely writable from here.
+    ++fences_posted_[succ];
+    const auto fr = workers_[succ]->post({WorkItem::Kind::Fence, {}});
+    stats_.backpressure_stalls += fr.stalls;
+    if (fr.ok && workers_[succ]->wait_fence_for(fences_posted_[succ],
+                                                opts_.watchdog_stall_ms))
+      break;
+    failover(succ);  // the successor died too; pick the next survivor
+  }
+  for (auto& owner : shard_map_)
+    if (owner == wi) owner = succ;
+
+  if (!salvage) {
+    stats_.abandoned_packets += dead.ring().size_approx();
+    return;
+  }
+
+  // Fold the dead replica's window-partial state into the successor before
+  // any moved packet executes there.
+  const auto segs = primary_.state_segments();
+  for (const auto& seg : segs) {
+    if (!dead.has_bank(seg.stage) || !workers_[succ]->has_bank(seg.stage))
+      continue;
+    workers_[succ]->bank(seg.stage).merge_range_from(
+        dead.bank(seg.stage), seg.offset, seg.width, merge_op_for(seg.op));
+  }
+  // Reports it emitted this window go straight to the sinks (the barrier
+  // will not visit this worker again).
+  dead.publish_telemetry();
+  for (const ReportRecord& r : dead.reports().records()) deliver(r);
+  dead.reports().clear();
+
+  // Re-push the unprocessed backlog (items queued behind the crash point)
+  // through the remapped buckets, keeping them in the open window.
+  WorkItem item;
+  while (dead.ring().try_pop(item)) {
+    if (item.kind != WorkItem::Kind::Packet) continue;
+    route_packet(opts_.shard_key.shard_of(item.pkt, shard_map_.size()),
+                 item.pkt);
+    ++stats_.redistributed_packets;
+  }
 }
 
 void ShardedRuntime::run(const Trace& t) {
@@ -169,40 +300,69 @@ void ShardedRuntime::run(const Trace& t) {
 void ShardedRuntime::finish() {
   if (!started_) return;
   barrier();  // drain the final (partial) window
-  for (auto& w : workers_) w->post({WorkItem::Kind::Stop, {}});
-  for (auto& w : workers_) w->join();
   for (std::size_t i = 0; i < workers_.size(); ++i)
+    if (alive_[i]) workers_[i]->post({WorkItem::Kind::Stop, {}});
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!alive_[i]) continue;  // dead: joined at failover, or hung (reaped
+                               // by ~ShardWorker)
+    workers_[i]->join();
     stats_.workers[i] = workers_[i]->stats();
+  }
   flush_telemetry();
   started_ = false;
   have_epoch_ = false;
 }
 
 void ShardedRuntime::barrier() {
-  // Occupancy just before the fence: how much of the window's tail each
-  // shard still had queued when the demux hit the epoch boundary.
-  for (std::size_t i = 0; i < workers_.size(); ++i)
-    metrics_.shard_occupancy[i]->set(
-        static_cast<int64_t>(workers_[i]->ring().size_approx()));
-  ++fence_seq_;
-  for (auto& w : workers_)
-    stats_.backpressure_stalls += w->post({WorkItem::Kind::Fence, {}});
-  for (auto& w : workers_) w->wait_fence(fence_seq_);
-  // All workers quiesced; their replica state is now safely readable.
+  // Fence every live worker; a worker found dead or hung here fails over
+  // and the round restarts, so survivors that just absorbed a failed-over
+  // backlog are re-fenced before the merge — window reports stay complete.
+  while (true) {
+    // Occupancy just before the fence: how much of the window's tail each
+    // shard still had queued when the demux hit the epoch boundary.
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      if (alive_[i])
+        metrics_.shard_occupancy[i]->set(
+            static_cast<int64_t>(workers_[i]->ring().size_approx()));
+    bool redo = false;
+    for (std::size_t i = 0; i < workers_.size() && !redo; ++i) {
+      if (!alive_[i]) continue;
+      ++fences_posted_[i];
+      const auto r = workers_[i]->post({WorkItem::Kind::Fence, {}});
+      stats_.backpressure_stalls += r.stalls;
+      if (!r.ok) {
+        --fences_posted_[i];  // nothing was enqueued
+        failover(i);
+        redo = true;
+      }
+    }
+    for (std::size_t i = 0; i < workers_.size() && !redo; ++i) {
+      if (!alive_[i]) continue;
+      if (!workers_[i]->wait_fence_for(fences_posted_[i],
+                                       opts_.watchdog_stall_ms)) {
+        failover(i);
+        redo = true;
+      }
+    }
+    if (!redo) break;
+  }
+  // All live workers quiesced; their replica state is now safely readable.
   // Publish replica telemetry before any reload replaces the replicas.
-  for (auto& w : workers_) w->publish_telemetry();
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    if (alive_[i]) workers_[i]->publish_telemetry();
   const auto merge_t0 = std::chrono::steady_clock::now();
   drain_and_merge();
   apply_mutations();
   if (replicas_dirty_)
     reload_replicas();
-  for (auto& w : workers_) w->reset_banks();
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    if (alive_[i]) workers_[i]->reset_banks();
   metrics_.merge_us->observe(
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - merge_t0)
           .count());
   for (std::size_t i = 0; i < workers_.size(); ++i)
-    stats_.workers[i] = workers_[i]->stats();
+    if (alive_[i]) stats_.workers[i] = workers_[i]->stats();
   ++stats_.windows;
   flush_telemetry();
   // The next ring push publishes every replica mutation above to the
@@ -220,10 +380,13 @@ void ShardedRuntime::drain_and_merge() {
   snap.window = cur_epoch_;
 
   // Reports, in shard order (deterministic given a deterministic demux).
-  for (auto& w : workers_) {
-    for (const ReportRecord& r : w->reports().records()) deliver(r);
-    snap.reports += w->reports().size();
-    w->reports().clear();
+  // Dead workers' final reports were already delivered at failover.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!alive_[i]) continue;
+    ShardWorker& w = *workers_[i];
+    for (const ReportRecord& r : w.reports().records()) deliver(r);
+    snap.reports += w.reports().size();
+    w.reports().clear();
   }
 
   // Fold the per-worker banks into the primary switch's banks, slice by
@@ -233,9 +396,9 @@ void ShardedRuntime::drain_and_merge() {
   const auto segs = primary_.state_segments();
   for (const auto& seg : segs) {
     const MergeOp op = merge_op_for(seg.op);
-    for (auto& w : workers_) {
-      if (!w->has_bank(seg.stage)) continue;
-      primary_.bank(seg.stage).merge_range_from(w->bank(seg.stage),
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!alive_[i] || !workers_[i]->has_bank(seg.stage)) continue;
+      primary_.bank(seg.stage).merge_range_from(workers_[i]->bank(seg.stage),
                                                 seg.offset, seg.width, op);
     }
   }
@@ -293,8 +456,9 @@ void ShardedRuntime::apply_mutations() {
 }
 
 void ShardedRuntime::reload_replicas() {
-  for (auto& w : workers_)
-    w->load_replica(primary_.pipeline(), primary_.init_table());
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    if (alive_[i])
+      workers_[i]->load_replica(primary_.pipeline(), primary_.init_table());
   replicas_dirty_ = false;
 }
 

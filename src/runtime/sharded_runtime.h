@@ -16,7 +16,13 @@
 //   * rule install/withdraw mid-stream (the paper's core claim) rides the
 //     same barrier: mutations queue and apply atomically while all workers
 //     are quiesced, through the ordinary Controller; direct Controller
-//     mutation while a window is open is rejected by the quiesce guard.
+//     mutation while a window is open is rejected by the quiesce guard;
+//   * a watchdog tolerates shard-worker death: a worker whose ring closed
+//     (crash) or whose heartbeat froze with work outstanding (hang) is
+//     failed over — its flow-key buckets are redirected to one surviving
+//     shard, its window-partial register banks merged into that successor,
+//     its pending reports delivered, and its ring backlog redistributed, so
+//     window reports stay complete across the failure (docs/fault.md).
 #pragma once
 
 #include <cstdint>
@@ -48,6 +54,11 @@ struct RuntimeOptions {
   // registry; benches and determinism tests pass private instances so
   // sequential runs do not accumulate.
   telemetry::Registry* registry = nullptr;
+  // Watchdog deadline: a worker that makes no progress (heartbeat frozen)
+  // for this long while work is outstanding is declared failed and its
+  // shard range fails over.  0 disables the deadline (death is then only
+  // detected via a closed ring).
+  uint64_t watchdog_stall_ms = 2000;
 };
 
 // Aggregated per-run totals, derived from the same values the telemetry
@@ -59,6 +70,10 @@ struct RuntimeStats {
   uint64_t backpressure_stalls = 0;   // failed ring pushes (queue full)
   uint64_t rule_updates_applied = 0;  // quiesced mutations applied
   uint64_t reports = 0;               // reports forwarded to the sink(s)
+  uint64_t worker_failovers = 0;      // shard workers failed over
+  uint64_t redistributed_packets = 0; // ring backlog moved to a successor
+  uint64_t abandoned_packets = 0;     // backlog lost with a hung worker
+  std::size_t live_shards = 0;        // workers still processing
   std::vector<WorkerStats> workers;   // per shard, refreshed at barriers
 };
 
@@ -113,6 +128,14 @@ class ShardedRuntime {
   const RuntimeStats& stats() const { return stats_; }
   const std::vector<WindowSnapshot>& snapshots() const { return snapshots_; }
   std::size_t num_shards() const { return workers_.size(); }
+  std::size_t live_shards() const { return live_count_; }
+
+  // Fault-injection seams: make shard `i` crash (close its ring and exit
+  // without acking — detected at the demux's next push to it) or hang
+  // (stop consuming with a frozen heartbeat — detected by the watchdog
+  // deadline) at exactly this point in its item stream.
+  void kill_shard_for_test(std::size_t i);
+  void stall_shard_for_test(std::size_t i);
 
  private:
   void barrier();           // fence all workers, merge, drain, mutate, reset
@@ -122,6 +145,14 @@ class ShardedRuntime {
   void deliver(const ReportRecord& r);
   void bind_telemetry();    // resolve metric handles against the registry
   void flush_telemetry();   // mirror counters batched at each barrier
+  // Push one packet to the worker owning `bucket`, failing over dead or
+  // hung workers until the push lands.
+  void route_packet(std::size_t bucket, const Packet& pkt);
+  // Retire worker `wi`: remap its buckets to a surviving shard and (when
+  // the thread exited and left its replica intact) merge its window-partial
+  // state into that successor, deliver its pending reports, and re-push its
+  // ring backlog so the open window stays complete.
+  void failover(std::size_t wi);
 
   struct PendingMutation {
     enum class Kind : uint8_t { Install, Withdraw } kind;
@@ -155,13 +186,26 @@ class ShardedRuntime {
     telemetry::Counter* rule_updates = nullptr;
     telemetry::Counter* reports = nullptr;
     telemetry::Histogram* merge_us = nullptr;  // window merge duration
+    telemetry::Counter* failovers = nullptr;
+    telemetry::Counter* redistributed = nullptr;
+    telemetry::Counter* abandoned = nullptr;
+    telemetry::Gauge* live_shards = nullptr;
     std::vector<telemetry::Counter*> shard_packets;
     std::vector<telemetry::Gauge*> shard_occupancy;  // ring depth at barrier
   };
   Metrics metrics_;
   RuntimeStats flushed_;  // totals already mirrored into the registry
 
-  uint64_t fence_seq_ = 0;
+  // Failover state: flow-key hashes address a fixed set of num_shards
+  // buckets; shard_map_ redirects each bucket to its current owner, so a
+  // dead worker's whole key range moves to ONE successor (merging its
+  // Add/Or state into a single replica keeps counts exact and distinct
+  // suppression intact — splitting the range would double-count).
+  std::vector<std::size_t> shard_map_;   // bucket -> live worker index
+  std::vector<char> alive_;              // per worker
+  std::vector<uint64_t> fences_posted_;  // fences enqueued per worker
+  std::size_t live_count_ = 0;
+
   uint64_t cur_epoch_ = 0;
   bool have_epoch_ = false;
   bool started_ = false;

@@ -39,6 +39,7 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   bool try_push(const T& v) {
+    if (closed_.load(std::memory_order_acquire)) return false;
     const uint64_t t = tail_.load(std::memory_order_relaxed);
     if (t - head_cache_ > mask_) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -60,20 +61,43 @@ class SpscRing {
     return true;
   }
 
-  // Blocking push.  Returns the number of failed attempts before the item
-  // fit — the demux counts these as backpressure stalls.
-  uint64_t push(const T& v) {
-    uint64_t stalls = 0;
+  struct PushResult {
+    uint64_t stalls = 0;  // failed attempts before the item fit
+    bool ok = true;       // false: the ring is closed, nothing was enqueued
+  };
+
+  // Blocking push.  Fails fast (ok = false) if the ring is closed — a
+  // consumer that exited must not strand its producer spinning forever.
+  // The demux counts `stalls` as backpressure.
+  PushResult push(const T& v) { return push_for(v, /*timeout_ms=*/0); }
+
+  // Blocking push with a deadline: additionally gives up (ok = false, ring
+  // still open) after `timeout_ms` milliseconds without space, so a caller
+  // can check the consumer's health before trying again.  timeout_ms = 0
+  // means no deadline.
+  PushResult push_for(const T& v, uint64_t timeout_ms) {
+    PushResult r;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
     while (true) {
+      if (closed_.load(std::memory_order_acquire)) {
+        r.ok = false;
+        return r;
+      }
       for (int i = 0; i < kSpin; ++i) {
         if (try_push(v)) {
           wake(consumer_waiting_);
-          return stalls;
+          return r;
         }
-        ++stalls;
+        ++r.stalls;
         std::this_thread::yield();
       }
-      park(producer_waiting_, [this] { return can_push(); });
+      if (timeout_ms != 0 && std::chrono::steady_clock::now() >= deadline) {
+        r.ok = false;
+        return r;
+      }
+      park(producer_waiting_,
+           [this] { return can_push() || closed(); });
     }
   }
 
@@ -90,6 +114,21 @@ class SpscRing {
       park(consumer_waiting_, [this] { return can_pop(); });
     }
   }
+
+  // Shut the ring: subsequent pushes fail fast; items already enqueued can
+  // still be drained with try_pop.  Either side may close (the runtime's
+  // workers close on death so the demux detects them at the next push);
+  // parked producers are woken promptly.
+  void close() {
+    {
+      // Holding mu_ orders the store against a parked producer's re-check
+      // (same protocol as wake()).
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_.store(true, std::memory_order_seq_cst);
+    }
+    cv_.notify_all();
+  }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   std::size_t capacity() const { return mask_ + 1; }
 
@@ -160,6 +199,7 @@ class SpscRing {
   uint64_t head_cache_ = 0;                    // producer-private
   std::mutex mu_;
   std::condition_variable cv_;
+  std::atomic<bool> closed_{false};
   std::atomic<bool> producer_waiting_{false};
   std::atomic<bool> consumer_waiting_{false};
   std::function<void()> park_test_hook_;  // cold path only; see setter

@@ -1,5 +1,6 @@
 #include "runtime/worker.h"
 
+#include <chrono>
 #include <ctime>
 #include <stdexcept>
 
@@ -27,6 +28,9 @@ ShardWorker::ShardWorker(std::size_t index, std::size_t queue_capacity)
 
 ShardWorker::~ShardWorker() {
   if (thread_.joinable()) {
+    // Release a Stall'd thread first; the Stop push fails harmlessly on a
+    // closed ring (dead worker), whose thread has already returned.
+    stall_release_.store(true, std::memory_order_release);
     ring_.push({WorkItem::Kind::Stop, {}});
     thread_.join();
   }
@@ -66,9 +70,25 @@ void ShardWorker::join() {
   started_ = false;
 }
 
-void ShardWorker::wait_fence(uint64_t seq) const {
-  while (fences_seen_.load(std::memory_order_acquire) < seq)
+bool ShardWorker::wait_fence_for(uint64_t seq, uint64_t stall_ms) const {
+  uint64_t last_hb = heartbeat();
+  auto last_change = std::chrono::steady_clock::now();
+  while (fences_seen_.load(std::memory_order_acquire) < seq) {
+    if (ring_.closed())  // died without acking
+      return fences_seen_.load(std::memory_order_acquire) >= seq;
+    if (stall_ms != 0) {
+      const uint64_t hb = heartbeat();
+      const auto now = std::chrono::steady_clock::now();
+      if (hb != last_hb) {
+        last_hb = hb;
+        last_change = now;
+      } else if (now - last_change >= std::chrono::milliseconds(stall_ms)) {
+        return false;  // no progress with the fence outstanding
+      }
+    }
     std::this_thread::yield();
+  }
+  return true;
 }
 
 RegisterArray& ShardWorker::bank(std::size_t stage) {
@@ -102,17 +122,36 @@ void ShardWorker::run() {
   while (true) {
     ring_.pop(item);
     if (item.kind == WorkItem::Kind::Stop) break;
+    if (item.kind == WorkItem::Kind::Kill) {
+      // Simulated crash: close the ring (the demux's next push fails fast
+      // and triggers failover) and vanish without acking anything.  Items
+      // queued behind the poison stay in the ring for redistribution; the
+      // replica is left intact for the demux to salvage after join().
+      stats_.busy_ns = thread_cpu_ns();
+      ring_.close();
+      return;
+    }
+    if (item.kind == WorkItem::Kind::Stall) {
+      // Simulated hang: stop consuming, freeze the heartbeat.  Only the
+      // destructor releases us (the watchdog gave this thread up — it must
+      // not touch the replica again before exiting).
+      while (!stall_release_.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      return;
+    }
     if (item.kind == WorkItem::Kind::Fence) {
       // The demux drains (and clears) the buffer right after this fence, so
       // the running total accumulates exactly once per window.
       stats_.reports += reports_.size();
       stats_.busy_ns = thread_cpu_ns();
       // Release: every replica write above happens-before the demux's
-      // acquire in wait_fence.
+      // acquire in wait_fence_for.
       fences_seen_.fetch_add(1, std::memory_order_release);
+      heartbeat_.fetch_add(1, std::memory_order_release);
       continue;
     }
     process(item.pkt);
+    heartbeat_.fetch_add(1, std::memory_order_release);
   }
   stats_.busy_ns = thread_cpu_ns();
 }

@@ -32,9 +32,13 @@ struct WorkerStats {
   uint64_t busy_ns = 0;   // thread CPU time consumed so far
 };
 
-// One demux->worker queue item: a packet, a window fence, or a stop token.
+// One demux->worker queue item: a packet, a window fence, a stop token, or
+// a fault-injection poison (Kill: the thread closes its ring and exits
+// without acking anything further — a simulated crash at a deterministic
+// point in the item stream; Stall: the thread stops consuming and freezes
+// its heartbeat until released — a simulated hang).
 struct WorkItem {
-  enum class Kind : uint8_t { Packet, Fence, Stop };
+  enum class Kind : uint8_t { Packet, Fence, Stop, Kill, Stall };
   Kind kind = Kind::Packet;
   Packet pkt;
 };
@@ -57,11 +61,26 @@ class ShardWorker {
 
   SpscRing<WorkItem>& ring() { return ring_; }
 
-  // Post a fence and return immediately; pair with wait_fence.
-  // Returns backpressure stalls encountered while enqueueing.
-  uint64_t post(const WorkItem& item) { return ring_.push(item); }
+  // Enqueue one item.  `ok = false` means the ring is closed — the worker
+  // died (crashed or was failed over); nothing was enqueued.
+  SpscRing<WorkItem>::PushResult post(const WorkItem& item) {
+    return ring_.push(item);
+  }
+
   // Block (spin+yield) until the worker acknowledged `seq` fences total.
-  void wait_fence(uint64_t seq) const;
+  // Returns false if the worker died (ring closed without the ack) or made
+  // no progress — heartbeat frozen with the fence outstanding — for
+  // `stall_ms` milliseconds; stall_ms = 0 disables the progress deadline.
+  bool wait_fence_for(uint64_t seq, uint64_t stall_ms) const;
+
+  // Items processed since start (packets + fences): the watchdog's
+  // liveness signal.  A healthy-but-slow worker keeps advancing it; a dead
+  // or hung one freezes.
+  uint64_t heartbeat() const {
+    return heartbeat_.load(std::memory_order_acquire);
+  }
+  // The worker closed its ring (crashed, failed over, or was stalled out).
+  bool dead() const { return ring_.closed(); }
 
   // --- quiesced access (demux thread, after wait_fence) ---
   ReportBuffer& reports() { return reports_; }
@@ -91,6 +110,8 @@ class ShardWorker {
   ReportBuffer reports_;
   WorkerStats stats_;
   std::atomic<uint64_t> fences_seen_{0};
+  std::atomic<uint64_t> heartbeat_{0};
+  std::atomic<bool> stall_release_{false};  // lets a Stall'd thread exit
   std::thread thread_;
   bool started_ = false;
 };

@@ -153,6 +153,36 @@ TEST(Controller, SNewtonStagesGrowLinearly) {
               static_cast<double>(stage_marks[1] - stage_marks[0]), 1.0);
 }
 
+TEST(Controller, FailedUpdateReinstatesOldQuery) {
+  // Atomicity regression: the update's new compilation is rejected by the
+  // switch (its register demand exceeds the state bank), which happens
+  // AFTER the old rules were pulled — the controller must reinstate them so
+  // a failed update never loses the running query.
+  NewtonSwitch sw(1, 12, nullptr, /*bank_registers=*/1 << 13);
+  Controller ctl(sw);
+  QueryParams small;
+  small.sketch_width = 256;
+  ctl.install(make_q1(small));
+  const std::size_t rules_before = sw.installed_rule_count();
+  const std::size_t slots_before = sw.slots_used();
+
+  QueryParams huge;
+  huge.sketch_width = 1 << 14;  // cannot fit in an 8K-register bank
+  EXPECT_THROW(ctl.update("q1_new_tcp", make_q1(huge)), std::runtime_error);
+
+  // Old query still installed and byte-identical in footprint.
+  EXPECT_TRUE(ctl.installed("q1_new_tcp"));
+  EXPECT_EQ(ctl.num_installed(), 1u);
+  EXPECT_EQ(sw.installed_rule_count(), rules_before);
+  EXPECT_EQ(sw.slots_used(), slots_before);
+
+  // And the reinstated rules are live: a later legitimate update works.
+  QueryParams ok;
+  ok.sketch_width = 512;
+  ctl.update("q1_new_tcp", make_q1(ok));
+  EXPECT_TRUE(ctl.installed("q1_new_tcp"));
+}
+
 TEST(Controller, UpdatePreservesName) {
   NewtonSwitch sw(1, 12, nullptr);
   Controller ctl(sw);

@@ -132,6 +132,41 @@ TEST(Placement, HostIdsInIngressSetAreIgnored) {
   EXPECT_TRUE(none.assignment.empty());
 }
 
+TEST(Placement, IsolatedSwitchIsNeverAssigned) {
+  // A switch with no links (disconnected from every ingress edge) must not
+  // appear in the layering — Algorithm 2 only walks live adjacency.
+  Topology t = make_line(3);
+  const int island = t.add_node(NodeType::Switch, "island");
+
+  const auto edges = t.edge_switches();
+  Placement p = place_resilient(t, edges, 3);
+  EXPECT_FALSE(p.assignment.empty());
+  EXPECT_EQ(p.assignment.count(island), 0u);
+
+  // Seeding the isolated switch as an ingress edge assigns it slice 0 only
+  // (its own traffic can still be monitored locally); the layering never
+  // crosses the missing links in either direction.
+  std::vector<int> ingress = edges;
+  ingress.push_back(island);
+  p = place_resilient(t, ingress, 3);
+  ASSERT_EQ(p.assignment.count(island), 1u);
+  EXPECT_EQ(p.assignment.at(island), (std::vector<std::size_t>{0}));
+}
+
+TEST(Placement, DisconnectedAndEmptyIngressYieldNothing) {
+  // Zero-edge / fully disconnected inputs degrade to an empty placement
+  // rather than throwing or assigning host nodes.
+  Topology t = make_line(2);
+  EXPECT_TRUE(place_resilient(t, {}, 3).assignment.empty());
+  EXPECT_TRUE(place_resilient(t, t.edge_switches(), 0).assignment.empty());
+
+  // Every seed switch dead: nothing is reachable, nothing is placed.
+  Topology dead = make_line(2);
+  for (int s : dead.switches()) dead.fail_node(s);
+  EXPECT_TRUE(
+      place_resilient(dead, dead.edge_switches(), 3).assignment.empty());
+}
+
 TEST(Placement, CoverageInvariant) {
   // Resilience: along ANY path from an ingress edge, the packet meets
   // slice d at or before its (d+1)-th switch.  Check over ECMP paths.

@@ -445,6 +445,46 @@ TEST(SpscRing, ParkRecheckSeesItemPublishedBeforeWait) {
   EXPECT_GE(fast, kIters - 4);
 }
 
+TEST(SpscRing, PushAfterCloseFailsFastAndWakesWaiters) {
+  SpscRing<int> ring(4);
+  ASSERT_TRUE(ring.try_push(1));
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+
+  // Closed ring: non-blocking and blocking pushes both refuse immediately —
+  // the demux must see the failure and fail the shard over, never enqueue
+  // into a dead worker's ring.
+  EXPECT_FALSE(ring.try_push(2));
+  const auto res = ring.push_for(3, /*stall_ms=*/1'000);
+  EXPECT_FALSE(res.ok);
+
+  // Items accepted before the close still drain (the failover path salvages
+  // the backlog), and close() is idempotent.
+  int v = 0;
+  EXPECT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(ring.try_pop(v));
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+
+  // A producer blocked on a full ring is released promptly by close(),
+  // instead of sleeping out its full deadline.
+  SpscRing<int> full(1);
+  ASSERT_TRUE(full.try_push(7));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    full.close();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto blocked = full.push_for(8, /*stall_ms=*/5'000);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  closer.join();
+  EXPECT_FALSE(blocked.ok);
+  EXPECT_LT(ms, 2'000.0);
+}
+
 TEST(SpscRing, PingPongLatency) {
   // Two rings, two threads, one item in flight: every blocking primitive
   // (spin, park, wake) is on the critical path of each round trip.  A
