@@ -15,8 +15,14 @@
 // run: per-stage packet counters, module rule hits, ring stalls, the
 // window-merge histogram — see docs/telemetry.md).
 //
-//   bench_runtime [--shards N]   run {1, N} and capture metrics at N shards
-//                                (default sweep 1/2/4/8, metrics at 4)
+//   bench_runtime [--shards N]        run {1, N}, capture metrics at N shards
+//                                     (default sweep 1/2/4/8, metrics at 4)
+//                [--burst B1,B2,...]  also sweep the hot-path batch size at
+//                                     the metrics shard count (default: the
+//                                     production burst 64 only)
+//                [--packets N]        trace size override (CI smoke: 100000)
+//                [--min-wall-speedup X]  exit 1 if the metrics-shard wall
+//                                     speedup over 1 shard lands below X
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +73,7 @@ Trace tile_to(Trace base, std::size_t target) {
 
 struct Sample {
   std::size_t shards = 0;
+  std::size_t burst = 0;
   uint64_t wall = 0;
   uint64_t demux_cpu = 0;
   uint64_t max_worker_cpu = 0;
@@ -81,7 +88,7 @@ struct Sample {
   double model_pps = 0.0;
 };
 
-Sample run_one(const Trace& t, std::size_t shards) {
+Sample run_one(const Trace& t, std::size_t shards, std::size_t burst) {
   // One run at a time in the global registry, so the exported metrics
   // block describes exactly the metrics-target run.
   telemetry::Registry::global().reset();
@@ -89,6 +96,7 @@ Sample run_one(const Trace& t, std::size_t shards) {
   RuntimeOptions o;
   o.num_shards = shards;
   o.queue_capacity = 8192;
+  o.burst = burst;
   o.record_snapshots = false;  // measuring the data path, not the observer
   ShardedRuntime rt(sw, o);
   QueryParams p;
@@ -105,6 +113,7 @@ Sample run_one(const Trace& t, std::size_t shards) {
 
   Sample s;
   s.shards = shards;
+  s.burst = burst;
   s.wall = w1 - w0;
   s.demux_cpu = c1 - c0;
   const RuntimeStats& st = rt.stats();
@@ -132,21 +141,42 @@ int main(int argc, char** argv) {
   using namespace newton;
   bench::header("Sharded runtime throughput vs. shard count");
 
+  constexpr std::size_t kDefaultBurst = 64;
   std::size_t metrics_shards = 4;
   std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+  std::vector<std::size_t> burst_sweep;  // extra bursts at metrics_shards
+  std::size_t packets_override = 0;
+  double min_wall_speedup = 0.0;  // 0 = no gate
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       metrics_shards = static_cast<std::size_t>(std::atol(argv[++i]));
       if (metrics_shards == 0) metrics_shards = 1;
       shard_counts = {1};
       if (metrics_shards != 1) shard_counts.push_back(metrics_shards);
+    } else if (std::strcmp(argv[i], "--burst") == 0 && i + 1 < argc) {
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p) break;
+        if (v > 0) burst_sweep.push_back(static_cast<std::size_t>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+      packets_override = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--min-wall-speedup") == 0 &&
+               i + 1 < argc) {
+      min_wall_speedup = std::atof(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: bench_runtime [--shards N]\n");
+      std::fprintf(stderr,
+                   "usage: bench_runtime [--shards N] [--burst B1,B2,...] "
+                   "[--packets N] [--min-wall-speedup X]\n");
       return 2;
     }
   }
 
-  const std::size_t target = bench::full_scale() ? 4'000'000 : 1'000'000;
+  const std::size_t target =
+      packets_override != 0 ? packets_override
+                            : (bench::full_scale() ? 4'000'000 : 1'000'000);
   TraceProfile prof = caida_like(7);
   prof.num_flows = 30'000;
   Trace base = generate_trace(prof);
@@ -160,19 +190,34 @@ int main(int argc, char** argv) {
               static_cast<double>(t.duration_ns()) / 1e9,
               std::thread::hardware_concurrency());
 
+  const auto print_sample = [](const Sample& s) {
+    std::printf(
+        "shards=%zu  burst=%3zu  wall=%7.1f ms  wall_pps=%9.0f  "
+        "model_pps=%9.0f  demux_cpu=%6.1f ms  max_worker_cpu=%6.1f ms  "
+        "stalls=%llu\n",
+        s.shards, s.burst, s.wall / 1e6, s.wall_pps, s.model_pps,
+        s.demux_cpu / 1e6, s.max_worker_cpu / 1e6,
+        static_cast<unsigned long long>(s.stalls));
+  };
+
   std::vector<Sample> samples;
   std::string metrics_json;
   for (std::size_t n : shard_counts) {
-    Sample s = run_one(t, n);
+    Sample s = run_one(t, n, kDefaultBurst);
     if (n == metrics_shards || metrics_json.empty())
       metrics_json =
           telemetry::to_json(telemetry::Registry::global().snapshot(), 2);
-    std::printf(
-        "shards=%zu  wall=%7.1f ms  wall_pps=%9.0f  model_pps=%9.0f  "
-        "demux_cpu=%6.1f ms  max_worker_cpu=%6.1f ms  stalls=%llu\n",
-        s.shards, s.wall / 1e6, s.wall_pps, s.model_pps, s.demux_cpu / 1e6,
-        s.max_worker_cpu / 1e6, static_cast<unsigned long long>(s.stalls));
+    print_sample(s);
     samples.push_back(std::move(s));
+  }
+
+  // Burst sweep at the metrics shard count: how much of the throughput is
+  // bought by batching alone (burst 1 = the pre-batching handoff).
+  std::vector<Sample> burst_samples;
+  for (std::size_t b : burst_sweep) {
+    Sample s = run_one(t, metrics_shards, b);
+    print_sample(s);
+    burst_samples.push_back(std::move(s));
   }
   bench::row_sep();
 
@@ -202,14 +247,14 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"metric_note\": \"model_pps = packets / "
                   "max(demux_cpu, busiest worker_cpu); equals wall-clock "
                   "throughput when each thread has its own core\",\n");
-  std::fprintf(f, "  \"shards\": [\n");
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    std::fprintf(f, "    {\"n\": %zu, \"wall_ns\": %llu, \"wall_pps\": %.0f, "
-                    "\"model_pps\": %.0f, \"demux_cpu_ns\": %llu, "
-                    "\"worker_cpu_ns\": [",
-                 s.shards, static_cast<unsigned long long>(s.wall), s.wall_pps,
-                 s.model_pps, static_cast<unsigned long long>(s.demux_cpu));
+  const auto write_sample = [f](const Sample& s, bool last) {
+    std::fprintf(f,
+                 "    {\"n\": %zu, \"burst\": %zu, \"wall_ns\": %llu, "
+                 "\"wall_pps\": %.0f, \"model_pps\": %.0f, "
+                 "\"demux_cpu_ns\": %llu, \"worker_cpu_ns\": [",
+                 s.shards, s.burst, static_cast<unsigned long long>(s.wall),
+                 s.wall_pps, s.model_pps,
+                 static_cast<unsigned long long>(s.demux_cpu));
     for (std::size_t j = 0; j < s.worker_cpu.size(); ++j)
       std::fprintf(f, "%s%llu", j ? ", " : "",
                    static_cast<unsigned long long>(s.worker_cpu[j]));
@@ -222,17 +267,50 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.failovers),
                  static_cast<unsigned long long>(s.redistributed),
                  static_cast<unsigned long long>(s.abandoned), s.live_shards,
-                 i + 1 < samples.size() ? "," : "");
-  }
+                 last ? "" : ",");
+  };
+
+  std::fprintf(f, "  \"shards\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    write_sample(samples[i], i + 1 == samples.size());
   std::fprintf(f, "  ],\n");
+  if (!burst_samples.empty()) {
+    std::fprintf(f, "  \"burst_sweep\": [\n");
+    for (std::size_t i = 0; i < burst_samples.size(); ++i)
+      write_sample(burst_samples[i], i + 1 == burst_samples.size());
+    std::fprintf(f, "  ],\n");
+  }
   std::fprintf(f, "  \"speedup_model_%zushard\": %.3f,\n", sN.shards,
                speedup_model);
   std::fprintf(f, "  \"speedup_wall_%zushard\": %.3f,\n", sN.shards,
                speedup_wall);
+  // Wall-clock trajectory across the repo's own history, for the perf PR's
+  // before/after record (same 1M-packet workload, single-core CI host).
+  // "seed" is the pre-batching runtime: item-at-a-time ring handoff,
+  // per-packet heap allocation in the match path, linear table scans.
+  std::fprintf(f, "  \"baseline_trajectory\": {\n");
+  std::fprintf(f, "    \"seed\": {\"wall_pps_1shard\": 1283796, "
+                  "\"wall_pps_4shard\": 1195747, "
+                  "\"speedup_wall_4shard\": 0.931, "
+                  "\"speedup_model_4shard\": 3.707},\n");
+  std::fprintf(f, "    \"current\": {\"wall_pps_1shard\": %.0f, "
+                  "\"wall_pps_%zushard\": %.0f, "
+                  "\"speedup_wall_%zushard\": %.3f, "
+                  "\"speedup_model_%zushard\": %.3f}\n",
+               s1.wall_pps, sN.shards, sN.wall_pps, sN.shards, speedup_wall,
+               sN.shards, speedup_model);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"metrics_shards\": %zu,\n", metrics_shards);
   std::fprintf(f, "  \"metrics\": %s\n", metrics_json.c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_runtime.json\n");
+
+  if (min_wall_speedup > 0.0 && speedup_wall < min_wall_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: %zu-shard wall speedup %.3f < required %.3f\n",
+                 sN.shards, speedup_wall, min_wall_speedup);
+    return 1;
+  }
   return 0;
 }

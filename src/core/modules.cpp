@@ -123,7 +123,7 @@ void RModule::execute(Phv& phv) {
   }
 }
 
-std::vector<uint32_t> InitModule::key_of(const Packet& p, bool at_ingress) {
+InitModule::Key InitModule::key_of(const Packet& p, bool at_ingress) {
   return {p.sip(),   p.dip(),       p.sport(),
           p.dport(), p.proto(),     p.tcp_flags(),
           at_ingress ? 1u : 0u};
@@ -132,12 +132,14 @@ std::vector<uint32_t> InitModule::key_of(const Packet& p, bool at_ingress) {
 void InitModule::execute(Phv& phv) {
   // Dispatch to EVERY query watching this traffic class.  (Hardware
   // materializes intersection entries whose action carries the merged qid
-  // chain; lookup_all walks that cross-product.)
-  for (const Action* a :
-       table_.lookup_all(key_of(phv.pkt, phv.at_ingress_edge))) {
-    ++hits_;
-    for (uint16_t q : a->qids) phv.activate_query(q);
-  }
+  // chain; lookup_all walks that cross-product.)  Key and results live in
+  // inline/member storage — nothing is heap-allocated per packet.
+  const Key key = key_of(phv.pkt, phv.at_ingress_edge);
+  const std::size_t n =
+      table_.lookup_all(key, scratch_.data(), scratch_.size());
+  hits_ += n;
+  for (std::size_t i = 0; i < n; ++i)
+    for (uint16_t q : scratch_[i]->qids) phv.activate_query(q);
 }
 
 namespace {

@@ -8,6 +8,7 @@
 // i.e. the module layout, never changes at runtime.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -140,13 +141,19 @@ class InitModule : public TableProgram {
   }
   TernaryTable<Action>& table() { return table_; }
 
+  // The dispatch key in fixed inline storage (no per-packet vector).
+  using Key = std::array<uint32_t, 7>;
+
   // Build the 7-word ternary key
   // [sip, dip, sport, dport, proto, flags, at_ingress].
-  static std::vector<uint32_t> key_of(const Packet& p, bool at_ingress);
+  static Key key_of(const Packet& p, bool at_ingress);
 
  private:
   std::string name_;
   TernaryTable<Action> table_;
+  // Scratch for lookup_all results; sized for the worst case (every rule
+  // matches), so the zero-allocation lookup can never truncate.
+  std::array<const Action*, kRulesPerModule> scratch_{};
 };
 
 // Per-module resource footprints (Table 3's per-module rows); constants are

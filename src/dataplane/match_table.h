@@ -14,10 +14,22 @@
 // Both enforce a capacity (the paper configures 256 rules per module) and
 // count rule operations so the controller's latency model can price
 // installs/removals.
+//
+// The lookup path is engineered for the sharded runtime's per-packet loop
+// (docs/runtime.md "Hot path"): keys are passed as spans over caller-owned
+// inline storage, results land in caller-provided scratch buffers, and the
+// ternary table precompiles its rules into a dispatch index — fully-exact
+// entries (the dominant case: qid dispatch and exact 5-tuple rules) live in
+// a hash index keyed on the match words, wildcard/ternary entries stay in a
+// short residual list.  No heap allocation happens on any lookup.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +47,42 @@ struct MatchWord {
   static MatchWord wildcard() { return {0, 0}; }
 };
 
+// Longest ternary key the tables accept (newton_init uses 7 words: the
+// 5-tuple, the TCP flags, and the at-ingress bit).  Fixed so a lookup key
+// fits in inline storage — no per-packet vector.
+inline constexpr std::size_t kMaxMatchWords = 8;
+
+// A lookup key in fixed inline storage.  Equality covers the unused tail,
+// so unused words must stay zero (the default).
+struct InlineKey {
+  std::array<uint32_t, kMaxMatchWords> words{};
+  uint8_t len = 0;
+
+  static InlineKey of(std::span<const uint32_t> key) {
+    InlineKey k;
+    k.len = static_cast<uint8_t>(key.size());
+    std::copy(key.begin(), key.end(), k.words.begin());
+    return k;
+  }
+  std::span<const uint32_t> span() const { return {words.data(), len}; }
+  friend bool operator==(const InlineKey&, const InlineKey&) = default;
+};
+
+struct InlineKeyHash {
+  std::size_t operator()(const InlineKey& k) const {
+    // FNV-1a over the used words + length; cheap and collision-free enough
+    // for <= 256 entries per table.
+    uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < k.len; ++i) {
+      h ^= k.words[i];
+      h *= 1099511628211ull;
+    }
+    h ^= k.len;
+    h *= 1099511628211ull;
+    return static_cast<std::size_t>(h);
+  }
+};
+
 template <typename Action>
 class TernaryTable {
  public:
@@ -47,48 +95,104 @@ class TernaryTable {
 
   explicit TernaryTable(std::size_t capacity) : capacity_(capacity) {}
 
+  // The dispatch index stores slot positions into entries_, so the default
+  // copy/move of every member is already deep and self-consistent.
+
   // Insert a rule; returns a handle for later removal.
   uint64_t insert(std::vector<MatchWord> key, int priority, Action action) {
     if (entries_.size() >= capacity_)
       throw std::runtime_error("TernaryTable: capacity exceeded");
+    if (key.size() > kMaxMatchWords)
+      throw std::runtime_error("TernaryTable: key exceeds kMaxMatchWords");
     const uint64_t h = next_handle_++;
     entries_.push_back({std::move(key), priority, std::move(action), h});
+    const std::size_t slot = entries_.size() - 1;
+    handle_to_slot_.emplace(h, slot);
+    index_slot(slot);  // appended slot is the largest: order stays sorted
     ++rule_ops_;
     return h;
   }
 
   bool remove(uint64_t handle) {
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->handle == handle) {
-        entries_.erase(it);
-        ++rule_ops_;
-        return true;
-      }
-    }
-    return false;
+    const auto it = handle_to_slot_.find(handle);
+    if (it == handle_to_slot_.end()) return false;
+    const std::size_t slot = it->second;
+    unindex_slot(slot);
+    handle_to_slot_.erase(it);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(slot));
+    // Every later entry shifted down one slot: fix the maps in place.
+    for (auto& [h, s] : handle_to_slot_)
+      if (s > slot) --s;
+    for (auto& [k, slots] : exact_)
+      for (std::size_t& s : slots)
+        if (s > slot) --s;
+    for (std::size_t& s : residual_)
+      if (s > slot) --s;
+    ++rule_ops_;
+    return true;
   }
 
   // Highest-priority matching entry (ties: earliest installed).
-  const Action* lookup(const std::vector<uint32_t>& key) const {
+  const Action* lookup(std::span<const uint32_t> key) const {
     const Entry* best = nullptr;
-    for (const Entry& e : entries_) {
-      if (matches(e, key) &&
-          (best == nullptr || e.priority > best->priority))
-        best = &e;
+    if (!exact_.empty()) {
+      const auto it = exact_.find(InlineKey::of(key));
+      if (it != exact_.end())
+        for (const std::size_t s : it->second)
+          if (better(entries_[s], best)) best = &entries_[s];
+    }
+    for (const std::size_t s : residual_) {
+      const Entry& e = entries_[s];
+      if (matches(e, key) && better(e, best)) best = &e;
     }
     return best ? &best->action : nullptr;
   }
+  const Action* lookup(std::initializer_list<uint32_t> key) const {
+    return lookup(std::span<const uint32_t>(key.begin(), key.size()));
+  }
 
-  // All matching entries in priority order.  A physical TCAM yields one
-  // result; callers that need the union (newton_init dispatching a packet
-  // to every query watching its traffic class) conceptually install the
-  // cross-product of overlapping entries with merged actions — this walks
-  // that cross-product without materializing it.
-  std::vector<const Action*> lookup_all(const std::vector<uint32_t>& key) const {
-    std::vector<const Action*> out;
-    for (const Entry& e : entries_)
-      if (matches(e, key)) out.push_back(&e.action);
+  // All matching entries, in installation order, written into the
+  // caller-provided scratch buffer (capacity >= size() always suffices).
+  // A physical TCAM yields one result; callers that need the union
+  // (newton_init dispatching a packet to every query watching its traffic
+  // class) conceptually install the cross-product of overlapping entries
+  // with merged actions — this walks that cross-product without
+  // materializing it, and without allocating.
+  std::size_t lookup_all(std::span<const uint32_t> key, const Action** out,
+                         std::size_t cap) const {
+    // Both slot lists are sorted ascending (= installation order): merge.
+    std::span<const std::size_t> ex{};
+    if (!exact_.empty()) {
+      const auto it = exact_.find(InlineKey::of(key));
+      if (it != exact_.end()) ex = it->second;
+    }
+    std::size_t n = 0, i = 0, j = 0;
+    while (n < cap && (i < ex.size() || j < residual_.size())) {
+      std::size_t s;
+      if (i < ex.size() &&
+          (j >= residual_.size() || ex[i] < residual_[j])) {
+        s = ex[i++];
+        // Exact-index hits share every masked word with the key by
+        // construction; only the arity can disagree, and the index key
+        // folds the length in, so this is always a match.
+      } else {
+        s = residual_[j++];
+        if (!matches(entries_[s], key)) continue;
+      }
+      out[n++] = &entries_[s].action;
+    }
+    return n;
+  }
+
+  // Allocating conveniences for tests and cold callers.
+  std::vector<const Action*> lookup_all(std::span<const uint32_t> key) const {
+    std::vector<const Action*> out(entries_.size());
+    out.resize(lookup_all(key, out.data(), out.size()));
     return out;
+  }
+  std::vector<const Action*> lookup_all(
+      std::initializer_list<uint32_t> key) const {
+    return lookup_all(std::span<const uint32_t>(key.begin(), key.size()));
   }
 
   std::size_t size() const { return entries_.size(); }
@@ -97,41 +201,113 @@ class TernaryTable {
   const std::vector<Entry>& entries() const { return entries_; }
 
  private:
-  static bool matches(const Entry& e, const std::vector<uint32_t>& key) {
+  static bool matches(const Entry& e, std::span<const uint32_t> key) {
     if (e.key.size() != key.size()) return false;
     for (std::size_t i = 0; i < key.size(); ++i)
       if (!e.key[i].matches(key[i])) return false;
     return true;
   }
 
+  // Strict-priority order with the documented tie-break: higher priority
+  // wins; equal priority falls to the earlier install (smaller handle).
+  bool better(const Entry& e, const Entry* best) const {
+    return best == nullptr || e.priority > best->priority ||
+           (e.priority == best->priority && e.handle < best->handle);
+  }
+
+  static bool is_exact(const std::vector<MatchWord>& key) {
+    for (const MatchWord& w : key)
+      if (w.mask != 0xffffffffu) return false;
+    return true;
+  }
+
+  static InlineKey exact_key_of(const std::vector<MatchWord>& key) {
+    InlineKey k;
+    k.len = static_cast<uint8_t>(key.size());
+    for (std::size_t i = 0; i < key.size(); ++i) k.words[i] = key[i].value;
+    return k;
+  }
+
+  void index_slot(std::size_t slot) {
+    const Entry& e = entries_[slot];
+    if (is_exact(e.key))
+      exact_[exact_key_of(e.key)].push_back(slot);
+    else
+      residual_.push_back(slot);
+  }
+
+  void unindex_slot(std::size_t slot) {
+    const Entry& e = entries_[slot];
+    if (is_exact(e.key)) {
+      const auto it = exact_.find(exact_key_of(e.key));
+      auto& slots = it->second;
+      slots.erase(std::find(slots.begin(), slots.end(), slot));
+      if (slots.empty()) exact_.erase(it);
+    } else {
+      residual_.erase(std::find(residual_.begin(), residual_.end(), slot));
+    }
+  }
+
   std::size_t capacity_;
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_;  // installation order
   uint64_t next_handle_ = 1;
   uint64_t rule_ops_ = 0;
+  // Dispatch index (slots into entries_, each list sorted ascending):
+  // fully-exact entries hash on their match words, everything else stays in
+  // the priority-scanned residual list.  Maintained incrementally by
+  // insert/remove; remove also uses handle_to_slot_ instead of a linear
+  // handle scan.
+  std::unordered_map<InlineKey, std::vector<std::size_t>, InlineKeyHash>
+      exact_;
+  std::vector<std::size_t> residual_;
+  std::unordered_map<uint64_t, std::size_t> handle_to_slot_;
 };
 
-// Exact-match table keyed by query id, one config per query.
+// Exact-match table keyed by query id, one config per query.  Lookups are
+// one predicated array load: qids are dense and small (kMaxQueries), so a
+// direct-indexed pointer table shadows the rule map.
 template <typename Config>
 class ConfigTable {
  public:
   explicit ConfigTable(std::size_t capacity) : capacity_(capacity) {}
 
+  // dense_ points into rules_' nodes, so copies must rebind it.
+  ConfigTable(const ConfigTable& o)
+      : capacity_(o.capacity_), rules_(o.rules_), rule_ops_(o.rule_ops_) {
+    rebuild_dense();
+  }
+  ConfigTable& operator=(const ConfigTable& o) {
+    if (this != &o) {
+      capacity_ = o.capacity_;
+      rules_ = o.rules_;
+      rule_ops_ = o.rule_ops_;
+      rebuild_dense();
+    }
+    return *this;
+  }
+  ConfigTable(ConfigTable&&) = default;
+  ConfigTable& operator=(ConfigTable&&) = default;
+
   void insert(uint16_t qid, Config cfg) {
     if (!rules_.contains(qid) && rules_.size() >= capacity_)
       throw std::runtime_error("ConfigTable: capacity exceeded");
-    rules_[qid] = std::move(cfg);
+    Config& slot = rules_[qid] = std::move(cfg);
+    if (qid >= dense_.size()) dense_.resize(qid + 1, nullptr);
+    dense_[qid] = &slot;  // node pointers are stable across rehash
     ++rule_ops_;
   }
 
   bool remove(uint16_t qid) {
     const bool erased = rules_.erase(qid) > 0;
-    if (erased) ++rule_ops_;
+    if (erased) {
+      dense_[qid] = nullptr;
+      ++rule_ops_;
+    }
     return erased;
   }
 
   const Config* lookup(uint16_t qid) const {
-    const auto it = rules_.find(qid);
-    return it == rules_.end() ? nullptr : &it->second;
+    return qid < dense_.size() ? dense_[qid] : nullptr;
   }
 
   std::size_t size() const { return rules_.size(); }
@@ -139,8 +315,17 @@ class ConfigTable {
   uint64_t rule_ops() const { return rule_ops_; }
 
  private:
+  void rebuild_dense() {
+    dense_.clear();
+    for (auto& [qid, cfg] : rules_) {
+      if (qid >= dense_.size()) dense_.resize(qid + 1, nullptr);
+      dense_[qid] = &cfg;
+    }
+  }
+
   std::size_t capacity_;
   std::unordered_map<uint16_t, Config> rules_;
+  std::vector<const Config*> dense_;  // qid -> config, nullptr when absent
   uint64_t rule_ops_ = 0;
 };
 

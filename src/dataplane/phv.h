@@ -12,13 +12,35 @@
 #include <bitset>
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "packet/fields.h"
 #include "packet/packet.h"
 #include "packet/sp_header.h"
 
 namespace newton {
+
+// Fixed-capacity vector in inline storage.  The PHV travels the packet hot
+// path millions of times per second; keeping its members trivially copyable
+// and allocation-free is what lets the sharded runtime reset and refill a
+// PHV per packet without touching the heap (docs/runtime.md "Hot path").
+template <typename T, std::size_t N>
+class InlineVec {
+ public:
+  void push_back(T v) { items_[n_++] = v; }
+  void clear() { n_ = 0; }
+  bool empty() const { return n_ == 0; }
+  std::size_t size() const { return n_; }
+  T operator[](std::size_t i) const { return items_[i]; }
+  const T* begin() const { return items_.data(); }
+  const T* end() const { return items_.data() + n_; }
+
+ private:
+  // Deliberately not value-initialized: only [0, n_) is ever exposed, and
+  // zeroing the whole inline array would cost a 512-byte memset on every
+  // PHV construction in the per-packet path.
+  std::array<T, N> items_;
+  std::uint16_t n_ = 0;
+};
 
 // One of the two independent metadata sets.
 struct MetadataSet {
@@ -40,8 +62,9 @@ struct Phv {
   // stop action).  In hardware this is per-query gateway metadata.
   std::bitset<kMaxQueries> active;
   // Activation order, for cheap iteration by module tables (mirror of
-  // `active` at activation time; the bitset remains authoritative).
-  std::vector<uint16_t> active_list;
+  // `active` at activation time; the bitset remains authoritative).  Inline
+  // storage: the bitset guard in activate_query bounds it at kMaxQueries.
+  InlineVec<uint16_t, kMaxQueries> active_list;
 
   // CQE: decoded result-snapshot header if the packet arrived with one, and
   // the header to emit on egress (set by newton_fin).
@@ -63,6 +86,20 @@ struct Phv {
 
   MetadataSet& set(std::size_t i) { return sets[i]; }
   const MetadataSet& set(std::size_t i) const { return sets[i]; }
+
+  // Restore a reused PHV to freshly-constructed state (minus pkt, which the
+  // caller overwrites next).  Cheaper than `*this = Phv{}`: the active
+  // list's inline array need not be wiped — its count is the only live
+  // state — so this touches ~130 bytes instead of the full PHV.
+  void reset() {
+    sets = {};
+    global_result = 0;
+    active.reset();
+    active_list.clear();
+    sp_in.reset();
+    sp_out.reset();
+    at_ingress_edge = true;
+  }
 };
 
 }  // namespace newton

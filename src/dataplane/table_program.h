@@ -19,6 +19,17 @@ class TableProgram {
   // Apply this table to the packet (match + action).
   virtual void execute(Phv& phv) = 0;
 
+  // Apply this table to a whole burst of packets.  The sharded runtime runs
+  // bursts stage-major (every table sees the full burst before the next
+  // table runs), which keeps one table's rules and match index hot in cache
+  // across the burst.  Per-bank register-op order is identical to the
+  // packet-major loop — each packet visits a given stage exactly once and
+  // burst order is preserved — so results are byte-identical.  Overrides
+  // must preserve that per-packet-in-order contract.
+  virtual void execute_burst(Phv* phvs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) execute(phvs[i]);
+  }
+
   // Static resource footprint of this table instance.
   virtual ResourceVec resources() const = 0;
 

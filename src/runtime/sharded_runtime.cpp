@@ -38,10 +38,13 @@ ShardedRuntime::ShardedRuntime(NewtonSwitch& primary, RuntimeOptions opts,
           "ShardedRuntime: controller mutation while a window is open; use "
           "install()/withdraw(), which quiesce at the next window barrier");
   });
+  if (opts_.burst == 0) opts_.burst = 1;
   workers_.reserve(opts_.num_shards);
   for (std::size_t i = 0; i < opts_.num_shards; ++i)
-    workers_.push_back(
-        std::make_unique<ShardWorker>(i, opts_.queue_capacity));
+    workers_.push_back(std::make_unique<ShardWorker>(i, opts_.queue_capacity,
+                                                     opts_.burst));
+  staging_.resize(opts_.num_shards);
+  for (auto& s : staging_) s.reserve(opts_.burst);
   stats_.workers.resize(opts_.num_shards);
   flushed_.workers.resize(opts_.num_shards);
   shard_map_.resize(opts_.num_shards);
@@ -183,13 +186,46 @@ void ShardedRuntime::process(const Packet& pkt) {
     have_epoch_ = true;
   }
   if (epoch != cur_epoch_) {
-    barrier();
+    barrier();  // flushes all staged packets first: windows stay exact
     cur_epoch_ = epoch;
   }
   // Hashes address the fixed bucket set; the map redirects buckets whose
-  // owner failed over.
-  route_packet(opts_.shard_key.shard_of(pkt, shard_map_.size()), pkt);
+  // owner failed over.  Packets stage per bucket and move to the owner's
+  // ring in bursts — one index handshake per burst instead of per packet.
+  const std::size_t bucket = opts_.shard_key.shard_of(pkt, shard_map_.size());
+  staging_[bucket].push_back({WorkItem::Kind::Packet, pkt});
+  if (staging_[bucket].size() >= opts_.burst) flush_bucket(bucket);
   ++stats_.packets_in;
+}
+
+void ShardedRuntime::flush_bucket(std::size_t bucket) {
+  auto& buf = staging_[bucket];
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const std::size_t wi = shard_map_[bucket];
+    ShardWorker& w = *workers_[wi];
+    const uint64_t hb = w.heartbeat();
+    std::size_t pushed = 0;
+    const auto r = w.ring().push_bulk_for(buf.data() + done,
+                                          buf.size() - done,
+                                          opts_.watchdog_stall_ms, &pushed);
+    done += pushed;
+    stats_.backpressure_stalls += r.stalls;
+    if (r.ok) break;  // everything landed
+    // Push failed: the ring closed (worker crashed), or it made no progress
+    // past the watchdog deadline.  An advancing heartbeat means a slow but
+    // live worker — retry; frozen heartbeat means a hang.  Items already
+    // pushed sit in the dead worker's ring backlog, which failover()
+    // salvages and redistributes ahead of the rest of this buffer.
+    if (!w.dead() && w.heartbeat() != hb) continue;
+    failover(wi);
+  }
+  buf.clear();
+}
+
+void ShardedRuntime::flush_staging() {
+  for (std::size_t b = 0; b < staging_.size(); ++b)
+    if (!staging_[b].empty()) flush_bucket(b);
 }
 
 void ShardedRuntime::route_packet(std::size_t bucket, const Packet& pkt) {
@@ -314,6 +350,9 @@ void ShardedRuntime::finish() {
 }
 
 void ShardedRuntime::barrier() {
+  // Everything staged belongs to the closing window: move it into the
+  // rings before the fences go out.
+  flush_staging();
   // Fence every live worker; a worker found dead or hung here fails over
   // and the round restarts, so survivors that just absorbed a failed-over
   // backlog are re-fenced before the merge — window reports stay complete.

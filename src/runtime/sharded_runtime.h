@@ -45,6 +45,12 @@ namespace newton {
 struct RuntimeOptions {
   std::size_t num_shards = 1;
   std::size_t queue_capacity = 4096;  // per-worker ring slots
+  // Hot-path batch size: the demux stages up to this many packets per
+  // shard before one bulk ring push, and workers drain/execute in bursts
+  // of the same size (docs/runtime.md "Hot path").  1 reproduces the
+  // item-at-a-time handoff exactly; results are byte-identical at any
+  // value — only the synchronization amortization changes.
+  std::size_t burst = 64;
   ShardKey shard_key = ShardKey::five_tuple();
   // Keep per-window merged result snapshots (tests compare them across
   // shard counts; benches turn this off).
@@ -148,6 +154,10 @@ class ShardedRuntime {
   // Push one packet to the worker owning `bucket`, failing over dead or
   // hung workers until the push lands.
   void route_packet(std::size_t bucket, const Packet& pkt);
+  // Bulk-push everything staged for `bucket` into its current owner's ring
+  // (single index handshake per burst), failing over dead/hung owners.
+  void flush_bucket(std::size_t bucket);
+  void flush_staging();  // all buckets, in bucket order (window barriers)
   // Retire worker `wi`: remap its buckets to a surviving shard and (when
   // the thread exited and left its replica intact) merge its window-partial
   // state into that successor, deliver its pending reports, and re-push its
@@ -168,6 +178,11 @@ class ShardedRuntime {
   ReportSink* extra_sink_ = nullptr;
 
   std::vector<std::unique_ptr<ShardWorker>> workers_;
+  // Per-bucket staging: packets accumulate here until a burst is full (or
+  // a window barrier flushes), then move into the owner's ring with one
+  // bulk push.  Preallocated to the burst size — the demux hot path never
+  // allocates.
+  std::vector<std::vector<WorkItem>> staging_;
   std::vector<PendingMutation> pending_;
   // qid -> (query name, branch), for snapshot attribution.
   std::map<uint16_t, std::pair<std::string, std::size_t>> qid_owner_;

@@ -61,6 +61,74 @@ class SpscRing {
     return true;
   }
 
+  // ---- bulk transfer -------------------------------------------------
+  // One acquire/release pair moves a whole burst, so the cross-thread
+  // cache-line traffic on the two indices is amortized over the burst
+  // instead of paid per item (docs/runtime.md "Hot path").
+
+  // Enqueue up to n items; returns how many fit (0 when full or closed).
+  // A partial push publishes a contiguous prefix of v.
+  std::size_t try_push_bulk(const T* v, std::size_t n) {
+    if (n == 0 || closed_.load(std::memory_order_acquire)) return 0;
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    std::size_t free = mask_ + 1 - static_cast<std::size_t>(t - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - static_cast<std::size_t>(t - head_cache_);
+      if (free == 0) return 0;
+    }
+    const std::size_t m = n < free ? n : free;
+    for (std::size_t i = 0; i < m; ++i) buf_[(t + i) & mask_] = v[i];
+    tail_.store(t + m, std::memory_order_release);
+    return m;
+  }
+
+  // Copy up to max queued items into out WITHOUT consuming them; returns
+  // the count.  Pair with consume(k), k <= that count, once the items are
+  // actually handled.  Consumer thread only.  The peek/consume split lets
+  // the shard worker stop a burst at a control item (fence, crash poison)
+  // and leave everything behind it in the ring — exactly the items the
+  // failover path must be able to salvage.
+  std::size_t peek_bulk(T* out, std::size_t max) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return 0;  // empty
+    }
+    const std::size_t avail = static_cast<std::size_t>(tail_cache_ - h);
+    const std::size_t m = max < avail ? max : avail;
+    for (std::size_t i = 0; i < m; ++i) out[i] = buf_[(h + i) & mask_];
+    return m;
+  }
+
+  // Retire n items previously peeked (single release on the head index).
+  void consume(std::size_t n) {
+    if (n == 0) return;
+    head_.store(head_.load(std::memory_order_relaxed) + n,
+                std::memory_order_release);
+    wake(producer_waiting_);
+  }
+
+  // Dequeue up to max items in one handshake; returns the count.
+  std::size_t try_pop_bulk(T* out, std::size_t max) {
+    const std::size_t n = peek_bulk(out, max);
+    consume(n);
+    return n;
+  }
+
+  // Blocking bulk peek: waits (spin, then park) until at least one item is
+  // queued, then copies up to max items out without consuming them.
+  std::size_t wait_peek_bulk(T* out, std::size_t max) {
+    while (true) {
+      for (int i = 0; i < kSpin; ++i) {
+        const std::size_t n = peek_bulk(out, max);
+        if (n != 0) return n;
+        std::this_thread::yield();
+      }
+      park(consumer_waiting_, [this] { return can_pop(); });
+    }
+  }
+
   struct PushResult {
     uint64_t stalls = 0;  // failed attempts before the item fit
     bool ok = true;       // false: the ring is closed, nothing was enqueued
@@ -99,6 +167,47 @@ class SpscRing {
       park(producer_waiting_,
            [this] { return can_push() || closed(); });
     }
+  }
+
+  // Blocking bulk push of the whole batch.  Partial progress is fine (the
+  // batch lands as several bursts under backpressure); the call only gives
+  // up when the ring closes (ok = false) or when `timeout_ms` milliseconds
+  // pass with NO forward progress — a deadline since the last accepted
+  // item, not since the call, so a slowly-draining consumer never trips it.
+  // `*pushed` always reports how many leading items were enqueued.
+  PushResult push_bulk_for(const T* v, std::size_t n, uint64_t timeout_ms,
+                           std::size_t* pushed) {
+    PushResult r;
+    std::size_t done = 0;
+    auto last_progress = std::chrono::steady_clock::now();
+    while (done < n) {
+      if (closed_.load(std::memory_order_acquire)) {
+        r.ok = false;
+        break;
+      }
+      std::size_t m = 0;
+      for (int i = 0; i < kSpin; ++i) {
+        m = try_push_bulk(v + done, n - done);
+        if (m != 0) break;
+        ++r.stalls;
+        std::this_thread::yield();
+      }
+      if (m != 0) {
+        done += m;
+        wake(consumer_waiting_);
+        if (timeout_ms != 0) last_progress = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (timeout_ms != 0 &&
+          std::chrono::steady_clock::now() - last_progress >=
+              std::chrono::milliseconds(timeout_ms)) {
+        r.ok = false;
+        break;
+      }
+      park(producer_waiting_, [this] { return can_push() || closed(); });
+    }
+    if (pushed != nullptr) *pushed = done;
+    return r;
   }
 
   // Blocking pop.

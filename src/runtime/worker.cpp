@@ -23,8 +23,12 @@ uint64_t thread_cpu_ns() {
 
 }  // namespace
 
-ShardWorker::ShardWorker(std::size_t index, std::size_t queue_capacity)
-    : index_(index), ring_(queue_capacity) {}
+ShardWorker::ShardWorker(std::size_t index, std::size_t queue_capacity,
+                         std::size_t burst)
+    : index_(index), burst_(burst == 0 ? 1 : burst), ring_(queue_capacity) {
+  batch_.resize(burst_);
+  phvs_.resize(burst_);
+}
 
 ShardWorker::~ShardWorker() {
   if (thread_.joinable()) {
@@ -106,23 +110,40 @@ void ShardWorker::reset_banks() {
     if (s) s->registers().reset();
 }
 
-void ShardWorker::process(const Packet& pkt) {
+void ShardWorker::process_batch(const WorkItem* items, std::size_t n) {
   // Mirrors the plain-path NewtonSwitch::process (no CQE slices here);
   // window rollover is the runtime's job, signalled by fences, so the
-  // worker never resets state on its own.
-  Phv phv;
-  phv.pkt = pkt;
-  init_->execute(phv);
-  pipeline_.process(phv);
-  ++stats_.packets;
+  // worker never resets state on its own.  PHVs are reused from a
+  // preallocated buffer and every PHV member lives in inline storage, so
+  // the steady-state loop performs no heap allocation.
+  for (std::size_t i = 0; i < n; ++i) {
+    Phv& phv = phvs_[i];
+    phv.reset();
+    phv.pkt = items[i].pkt;
+  }
+  init_->execute_burst(phvs_.data(), n);
+  pipeline_.process_burst(phvs_.data(), n);
+  stats_.packets += n;
 }
 
 void ShardWorker::run() {
-  WorkItem item;
   while (true) {
-    ring_.pop(item);
-    if (item.kind == WorkItem::Kind::Stop) break;
-    if (item.kind == WorkItem::Kind::Kill) {
+    // Drain up to a burst in one index handshake, but only consume through
+    // the first control item: anything queued behind a fence or a crash
+    // poison must stay in the ring (the demux redistributes it at
+    // failover, and nothing follows a fence until the barrier completes).
+    const std::size_t n = ring_.wait_peek_bulk(batch_.data(), burst_);
+    std::size_t npkts = 0;
+    while (npkts < n && batch_[npkts].kind == WorkItem::Kind::Packet) ++npkts;
+    if (npkts > 0) process_batch(batch_.data(), npkts);
+    const bool had_control = npkts < n;
+    const WorkItem::Kind k =
+        had_control ? batch_[npkts].kind : WorkItem::Kind::Packet;
+    ring_.consume(npkts + (had_control ? 1 : 0));
+    heartbeat_.fetch_add(1, std::memory_order_release);
+    if (!had_control) continue;
+    if (k == WorkItem::Kind::Stop) break;
+    if (k == WorkItem::Kind::Kill) {
       // Simulated crash: close the ring (the demux's next push fails fast
       // and triggers failover) and vanish without acking anything.  Items
       // queued behind the poison stay in the ring for redistribution; the
@@ -131,7 +152,7 @@ void ShardWorker::run() {
       ring_.close();
       return;
     }
-    if (item.kind == WorkItem::Kind::Stall) {
+    if (k == WorkItem::Kind::Stall) {
       // Simulated hang: stop consuming, freeze the heartbeat.  Only the
       // destructor releases us (the watchdog gave this thread up — it must
       // not touch the replica again before exiting).
@@ -139,19 +160,13 @@ void ShardWorker::run() {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       return;
     }
-    if (item.kind == WorkItem::Kind::Fence) {
-      // The demux drains (and clears) the buffer right after this fence, so
-      // the running total accumulates exactly once per window.
-      stats_.reports += reports_.size();
-      stats_.busy_ns = thread_cpu_ns();
-      // Release: every replica write above happens-before the demux's
-      // acquire in wait_fence_for.
-      fences_seen_.fetch_add(1, std::memory_order_release);
-      heartbeat_.fetch_add(1, std::memory_order_release);
-      continue;
-    }
-    process(item.pkt);
-    heartbeat_.fetch_add(1, std::memory_order_release);
+    // Fence: the demux drains (and clears) the buffer right after this, so
+    // the running total accumulates exactly once per window.
+    stats_.reports += reports_.size();
+    stats_.busy_ns = thread_cpu_ns();
+    // Release: every replica write above happens-before the demux's
+    // acquire in wait_fence_for.
+    fences_seen_.fetch_add(1, std::memory_order_release);
   }
   stats_.busy_ns = thread_cpu_ns();
 }

@@ -45,7 +45,12 @@ struct WorkItem {
 
 class ShardWorker {
  public:
-  ShardWorker(std::size_t index, std::size_t queue_capacity);
+  // `burst` is the drain batch size: the worker pulls up to this many ring
+  // items per handshake and executes packet runs through the pipeline
+  // stage-major (Pipeline::process_burst).  1 reproduces the item-at-a-time
+  // path exactly.
+  ShardWorker(std::size_t index, std::size_t queue_capacity,
+              std::size_t burst = 64);
   ~ShardWorker();
 
   ShardWorker(const ShardWorker&) = delete;
@@ -99,14 +104,19 @@ class ShardWorker {
 
  private:
   void run();
-  void process(const Packet& pkt);
+  void process_batch(const WorkItem* items, std::size_t n);
 
   std::size_t index_;
+  std::size_t burst_;
   SpscRing<WorkItem> ring_;
   Pipeline pipeline_{0};
   std::shared_ptr<InitModule> init_;
   std::vector<SModule*> s_by_stage_;  // typed views into the replica
   std::vector<RModule*> r_mods_;
+  // Reusable drain/execute buffers, sized to burst_ once at start: the
+  // steady-state loop allocates nothing (docs/runtime.md "Hot path").
+  std::vector<WorkItem> batch_;
+  std::vector<Phv> phvs_;
   ReportBuffer reports_;
   WorkerStats stats_;
   std::atomic<uint64_t> fences_seen_{0};

@@ -1,0 +1,231 @@
+// Differential test of TernaryTable's precompiled dispatch index (exact-
+// match hash index + ternary residual list, handle->slot removal map)
+// against a naive priority-scan reference: 10k randomized
+// insert/remove/lookup/lookup_all operations must agree exactly, including
+// the "earliest installed wins" priority tie-break and rule_ops counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "dataplane/match_table.h"
+
+namespace newton {
+namespace {
+
+// The pre-index semantics, kept verbatim as the oracle: a flat list in
+// installation order, linear scans everywhere.
+class ReferenceTable {
+ public:
+  struct Entry {
+    std::vector<MatchWord> key;
+    int priority = 0;
+    int action = 0;
+    uint64_t handle = 0;
+  };
+
+  explicit ReferenceTable(std::size_t capacity) : capacity_(capacity) {}
+
+  uint64_t insert(std::vector<MatchWord> key, int priority, int action) {
+    if (entries_.size() >= capacity_) throw std::runtime_error("capacity");
+    const uint64_t h = next_handle_++;
+    entries_.push_back({std::move(key), priority, action, h});
+    ++rule_ops_;
+    return h;
+  }
+
+  bool remove(uint64_t handle) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->handle == handle) {
+        entries_.erase(it);
+        ++rule_ops_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const int* lookup(const std::vector<uint32_t>& key) const {
+    const Entry* best = nullptr;
+    for (const Entry& e : entries_) {
+      if (matches(e, key) && (best == nullptr || e.priority > best->priority))
+        best = &e;
+    }
+    return best ? &best->action : nullptr;
+  }
+
+  std::vector<int> lookup_all(const std::vector<uint32_t>& key) const {
+    std::vector<int> out;
+    for (const Entry& e : entries_)
+      if (matches(e, key)) out.push_back(e.action);
+    return out;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  uint64_t rule_ops() const { return rule_ops_; }
+
+ private:
+  static bool matches(const Entry& e, const std::vector<uint32_t>& key) {
+    if (e.key.size() != key.size()) return false;
+    for (std::size_t i = 0; i < key.size(); ++i)
+      if (!e.key[i].matches(key[i])) return false;
+    return true;
+  }
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  uint64_t next_handle_ = 1;
+  uint64_t rule_ops_ = 0;
+};
+
+// Small universes everywhere so exact duplicates, overlapping ternary
+// rules, arity mismatches, and priority ties all occur constantly.
+struct OpGen {
+  std::mt19937 rng;
+  explicit OpGen(uint32_t seed) : rng(seed) {}
+
+  uint32_t word() { return rng() % 5; }
+  std::size_t arity() { return 1 + rng() % 3; }
+  int priority() { return static_cast<int>(rng() % 3); }
+
+  std::vector<MatchWord> match_key() {
+    std::vector<MatchWord> k(arity());
+    for (MatchWord& w : k) {
+      switch (rng() % 4) {
+        case 0: w = MatchWord::wildcard(); break;
+        case 1: w = {word(), 0x3};  // partial mask: stays in the residual
+          break;
+        default: w = MatchWord::exact(word());  // exact-index path dominant
+      }
+    }
+    return k;
+  }
+
+  std::vector<uint32_t> probe_key() {
+    std::vector<uint32_t> k(arity());
+    for (uint32_t& w : k) w = word();
+    return k;
+  }
+};
+
+TEST(MatchIndexDifferential, TenThousandRandomOpsMatchLinearScan) {
+  TernaryTable<int> dut(256);
+  ReferenceTable ref(256);
+  OpGen gen(20260806);
+  std::vector<uint64_t> live;  // handles valid in BOTH tables (kept in sync)
+  uint64_t removed_max = 0;    // a handle guaranteed dead
+
+  for (int op = 0; op < 10'000; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    switch (gen.rng() % 4) {
+      case 0: {  // insert (skip at capacity; both would throw identically)
+        if (ref.size() >= 250) break;
+        const auto key = gen.match_key();
+        const int pri = gen.priority();
+        const int act = op;  // unique payload: result identity is exact
+        const uint64_t hd = dut.insert(key, pri, act);
+        const uint64_t hr = ref.insert(key, pri, act);
+        ASSERT_EQ(hd, hr);  // same handle sequence by construction
+        live.push_back(hd);
+        break;
+      }
+      case 1: {  // remove: a live handle usually, a dead one sometimes
+        if (!live.empty() && gen.rng() % 8 != 0) {
+          const std::size_t i = gen.rng() % live.size();
+          const uint64_t h = live[i];
+          ASSERT_TRUE(dut.remove(h));
+          ASSERT_TRUE(ref.remove(h));
+          removed_max = std::max(removed_max, h);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ASSERT_FALSE(dut.remove(removed_max));
+          ASSERT_FALSE(ref.remove(removed_max));
+          ASSERT_FALSE(dut.remove(1'000'000));
+          ASSERT_FALSE(ref.remove(1'000'000));
+        }
+        break;
+      }
+      case 2: {  // lookup: highest priority, ties to earliest install
+        const auto key = gen.probe_key();
+        const int* d = dut.lookup(key);
+        const int* r = ref.lookup(key);
+        ASSERT_EQ(d == nullptr, r == nullptr);
+        if (d != nullptr) {
+          ASSERT_EQ(*d, *r);
+        }
+        break;
+      }
+      default: {  // lookup_all: full match set in installation order
+        const auto key = gen.probe_key();
+        const auto dv = dut.lookup_all(std::span<const uint32_t>(key));
+        const auto rv = ref.lookup_all(key);
+        ASSERT_EQ(dv.size(), rv.size());
+        for (std::size_t i = 0; i < dv.size(); ++i)
+          ASSERT_EQ(*dv[i], rv[i]);
+        break;
+      }
+    }
+    ASSERT_EQ(dut.size(), ref.size());
+    ASSERT_EQ(dut.rule_ops(), ref.rule_ops());
+  }
+}
+
+TEST(MatchIndexDifferential, FixedCapacityLookupAllMatchesAllocatingPath) {
+  TernaryTable<int> t(64);
+  OpGen gen(77);
+  for (int i = 0; i < 40; ++i) t.insert(gen.match_key(), gen.priority(), i);
+  for (int probe = 0; probe < 200; ++probe) {
+    const auto key = gen.probe_key();
+    const auto vec = t.lookup_all(std::span<const uint32_t>(key));
+    std::array<const int*, 64> scratch{};
+    const std::size_t n = t.lookup_all(std::span<const uint32_t>(key),
+                                       scratch.data(), scratch.size());
+    ASSERT_EQ(n, vec.size());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(scratch[i], vec[i]);
+  }
+}
+
+// Satellite regression: remove by handle must hit the right entry among
+// duplicates (same key, same priority), and lookups after the removal must
+// fall back to the earliest remaining duplicate.
+TEST(MatchIndex, RemoveThenLookupWithDuplicatePriorities) {
+  TernaryTable<int> t(16);
+  const auto key = std::vector<MatchWord>{MatchWord::exact(9)};
+  const uint64_t h1 = t.insert(key, 5, 100);
+  const uint64_t h2 = t.insert(key, 5, 200);
+  const uint64_t h3 = t.insert(key, 5, 300);
+
+  // Tie on priority: earliest installed wins.
+  ASSERT_EQ(*t.lookup({9u}), 100);
+  ASSERT_EQ(t.lookup_all({9u}).size(), 3u);
+
+  // Removing the winner promotes the next-earliest duplicate.
+  EXPECT_TRUE(t.remove(h1));
+  EXPECT_EQ(*t.lookup({9u}), 200);
+  // Removing the LAST duplicate leaves the middle one matched.
+  EXPECT_TRUE(t.remove(h3));
+  EXPECT_EQ(*t.lookup({9u}), 200);
+  ASSERT_EQ(t.lookup_all({9u}).size(), 1u);
+  EXPECT_TRUE(t.remove(h2));
+  EXPECT_EQ(t.lookup({9u}), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+  // Double-remove stays a no-op and does not bump rule_ops.
+  const uint64_t ops = t.rule_ops();
+  EXPECT_FALSE(t.remove(h2));
+  EXPECT_EQ(t.rule_ops(), ops);
+
+  // A ternary duplicate overlapping an exact one: removal of the exact
+  // entry keeps the residual match reachable (index consistency across the
+  // two sub-structures).
+  TernaryTable<int> t2(16);
+  const uint64_t e = t2.insert({MatchWord::exact(4)}, 1, 1);
+  t2.insert({MatchWord{4, 0x7}}, 1, 2);
+  ASSERT_EQ(*t2.lookup({4u}), 1);  // tie: exact installed first
+  EXPECT_TRUE(t2.remove(e));
+  ASSERT_EQ(*t2.lookup({4u}), 2);
+}
+
+}  // namespace
+}  // namespace newton
