@@ -15,14 +15,21 @@
 //   newton_tool inject <q1..q9> [seed] [events]              fault replay:
 //     deploy the query resiliently on a fat-tree, replay a trace under a
 //     seeded link-failure plan and print the plan + failover counters
+//   newton_tool fuzz [--runs N] [--seconds S] [--seed S]     differential
+//     fuzz campaign: random scenarios cross-checked against the reference
+//     oracle and every execution mode (docs/difftest.md); failing cases
+//     are minimized and written as replayable scenario files
+//     (--replay <file>).  NEWTON_DIFF_SEED overrides the base seed.
 //
 // Any command accepts --metrics: after the command runs, the process-global
 // telemetry registry is dumped to stdout in Prometheus text exposition
 // (per-stage packet counters, module rule hits, controller op latencies —
 // docs/telemetry.md lists the series).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <random>
 #include <string>
 
 #include "analyzer/analyzer.h"
@@ -32,6 +39,7 @@
 #include "core/p4gen.h"
 #include "core/parse_query.h"
 #include "core/queries.h"
+#include "difftest/fuzzer.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
 #include "net/net_controller.h"
@@ -69,6 +77,9 @@ int usage() {
                "       newton_tool p4 [stages]\n"
                "       newton_tool rules <q1..q9>\n"
                "       newton_tool inject <q1..q9> [seed] [events]\n"
+               "       newton_tool fuzz [--runs N] [--seconds S] [--seed S]\n"
+               "                        [--corpus DIR] [--out DIR]\n"
+               "                        [--replay FILE] [--no-minimize] [-v]\n"
                "       (append --metrics to dump telemetry after any "
                "command)\n");
   return 2;
@@ -229,6 +240,68 @@ int cmd_inject(int argc, char** argv) {
   return 0;
 }
 
+int cmd_fuzz(int argc, char** argv) {
+  difftest::FuzzOptions fo;
+  std::string replay;
+  bool seed_set = false;
+  bool budget_set = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--runs" && (v = next())) {
+      fo.max_runs = static_cast<std::size_t>(std::atol(v));
+      budget_set = true;
+    } else if (a == "--seconds" && (v = next())) {
+      fo.max_seconds = std::atof(v);
+      budget_set = true;
+    } else if (a == "--seed" && (v = next())) {
+      fo.seed = std::strtoull(v, nullptr, 10);
+      seed_set = true;
+    } else if (a == "--replay" && (v = next())) {
+      replay = v;
+    } else if (a == "--corpus" && (v = next())) {
+      fo.corpus_dir = v;
+    } else if (a == "--out" && (v = next())) {
+      fo.out_dir = v;
+    } else if (a == "--no-minimize") {
+      fo.minimize = false;
+    } else if (a == "--verbose" || a == "-v") {
+      fo.verbose = true;
+    } else {
+      return usage();
+    }
+  }
+  if (!replay.empty())
+    return difftest::replay_file(replay, fo.minimize, fo.out_dir);
+
+  if (!seed_set) {
+    const char* env = std::getenv("NEWTON_DIFF_SEED");
+    if (env && *env)
+      fo.seed = std::strtoull(env, nullptr, 10);
+    else
+      fo.seed = std::random_device{}();
+  }
+  if (!budget_set) fo.max_runs = 1000;
+  const std::string budget =
+      fo.max_runs ? " --runs " + std::to_string(fo.max_runs) : std::string();
+  std::printf("fuzz: base seed %llu (replay campaign: newton_tool fuzz "
+              "--seed %llu%s)\n",
+              static_cast<unsigned long long>(fo.seed),
+              static_cast<unsigned long long>(fo.seed), budget.c_str());
+  const difftest::FuzzStats st = difftest::run_fuzzer(fo);
+  std::printf("fuzz: %zu run(s), %zu divergent, corpus %zu, %zu coverage "
+              "bit(s)\n",
+              st.runs, st.divergent, st.corpus, st.coverage_bits);
+  for (const std::string& f : st.failure_files)
+    std::printf("fuzz: failing scenario %s (replay: newton_tool fuzz "
+                "--replay %s)\n",
+                f.c_str(), f.c_str());
+  return st.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int run_command(int argc, char** argv);
@@ -277,6 +350,7 @@ int run_command(int argc, char** argv) {
       return 0;
     }
     if (cmd == "inject") return cmd_inject(argc, argv);
+    if (cmd == "fuzz") return cmd_fuzz(argc, argv);
     if (cmd == "rules") {
       const int qi = argc > 2 ? query_index(argv[2]) : -1;
       if (qi < 0) return usage();

@@ -22,7 +22,11 @@ Liveness liveness_at(const std::vector<ModuleSpec>& chain, int cut) {
     bool hash_w = false, state_w = false, keys_w = false;
     bool hash_r = false, state_r = false, keys_r = false;
     for (const ModuleSpec& m : chain) {
-      if (m.set != set) continue;
+      // Placeholders without a rule never execute: they neither write nor
+      // read the set, and counting them as writers masks a real reader
+      // behind the cut (the re-derived K would be skipped and a later
+      // report would export all-zero keys).
+      if (m.set != set || !m.rule_needed) continue;
       const bool before = m.stage < cut;
       switch (m.type) {
         case ModuleType::K:
@@ -57,7 +61,7 @@ Liveness liveness_at(const std::vector<ModuleSpec>& chain, int cut) {
     auto first_stage = [&](ModuleType t, bool reader) {
       int best = INT32_MAX;
       for (const ModuleSpec& m : chain) {
-        if (m.set != set || m.stage < cut) continue;
+        if (m.set != set || m.stage < cut || !m.rule_needed) continue;
         if (!reader && m.type == t) best = std::min(best, m.stage);
         if (reader) {
           if (t == ModuleType::K &&
@@ -169,7 +173,8 @@ std::vector<QuerySlice> slice_query(const CompiledQuery& cq,
         // Find the latest K of that set before the cut.
         const ModuleSpec* src = nullptr;
         for (const ModuleSpec& m : chain)
-          if (m.type == ModuleType::K && m.set == set && m.stage < begin)
+          if (m.type == ModuleType::K && m.set == set && m.stage < begin &&
+              m.rule_needed)
             src = &m;
         if (src == nullptr) continue;
         ModuleSpec dup = *src;

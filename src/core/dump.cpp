@@ -65,7 +65,100 @@ std::string prim_name(const Primitive& p) {
   return "?";
 }
 
+std::string cmp_token(Cmp op) {
+  switch (op) {
+    case Cmp::Eq: return "==";
+    case Cmp::Ne: return "!=";
+    case Cmp::Ge: return ">=";
+    case Cmp::Le: return "<=";
+    case Cmp::Gt: return ">";
+    case Cmp::Lt: return "<";
+  }
+  return "?";
+}
+
+// Prefix length of `mask` within `f`'s width; throws if the mask is not a
+// contiguous prefix (the only mask shape the DSL can express).
+std::size_t prefix_len(Field f, uint32_t mask) {
+  const uint8_t bits = field_bits(f);
+  const uint32_t full = field_full_mask(f);
+  for (std::size_t len = 0; len <= bits; ++len) {
+    const uint32_t pm =
+        len == 0 ? 0u : (full >> (bits - len)) << (bits - len);
+    if ((mask & full) == pm) return len;
+  }
+  throw std::invalid_argument("query_to_dsl: non-prefix mask on field " +
+                              std::string(field_name(f)));
+}
+
+void emit_keys(std::ostringstream& os, const std::vector<KeySel>& keys) {
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i) os << ", ";
+    os << field_name(keys[i].field);
+    const std::size_t len = prefix_len(keys[i].field, keys[i].mask);
+    if (len != field_bits(keys[i].field)) os << "/" << len;
+  }
+}
+
+void emit_primitive(std::ostringstream& os, const Primitive& p) {
+  switch (p.kind) {
+    case PrimitiveKind::Filter: {
+      os << "filter(";
+      for (std::size_t i = 0; i < p.pred.clauses.size(); ++i) {
+        const auto& c = p.pred.clauses[i];
+        if (i) os << " && ";
+        os << field_name(c.field) << " " << cmp_token(c.op) << " " << c.value;
+        const std::size_t len = prefix_len(c.field, c.mask);
+        if (len != field_bits(c.field)) os << "/" << len;
+      }
+      os << ")";
+      break;
+    }
+    case PrimitiveKind::Map:
+      os << "map(";
+      emit_keys(os, p.keys);
+      os << ")";
+      break;
+    case PrimitiveKind::Distinct:
+      os << "distinct(";
+      emit_keys(os, p.keys);
+      os << ")";
+      break;
+    case PrimitiveKind::Reduce:
+      os << "reduce(";
+      emit_keys(os, p.keys);
+      os << ", " << (p.value_field_is_len ? "bytes" : "count") << ")";
+      break;
+    case PrimitiveKind::When:
+      os << "when(" << cmp_token(p.when_op) << " " << p.when_value << ")";
+      break;
+  }
+}
+
 }  // namespace
+
+std::string query_to_dsl(const Query& q) {
+  if (q.branches.empty())
+    throw std::invalid_argument("query_to_dsl: query has no branches");
+  std::ostringstream os;
+  os << "sketch(" << q.sketch_depth << ", " << q.sketch_width << ")";
+  if (q.window_ns % 1'000'000 != 0)
+    throw std::invalid_argument("query_to_dsl: window not a whole ms");
+  os << " | window(" << q.window_ns / 1'000'000 << "ms)";
+  if (q.row_partitions > 1) os << " | partitions(" << q.row_partitions << ")";
+  for (std::size_t bi = 0; bi < q.branches.size(); ++bi) {
+    if (bi > 0)
+      os << " | branch("
+         << (q.branches[bi].name.empty() ? "b" + std::to_string(bi)
+                                         : q.branches[bi].name)
+         << ")";
+    for (const Primitive& p : q.branches[bi].primitives) {
+      os << " | ";
+      emit_primitive(os, p);
+    }
+  }
+  return os.str();
+}
 
 std::string dump_query(const Query& q) {
   std::ostringstream os;

@@ -13,6 +13,14 @@ namespace newton {
 // The query as the operator wrote it (primitive chain per branch).
 std::string dump_query(const Query& q);
 
+// The query re-emitted in the DSL of core/parse_query.h, such that
+// parse_query(name, query_to_dsl(q)) rebuilds an equivalent Query.  This is
+// the serialization hook scenario files (src/difftest/) use to embed
+// queries.  Masks must be prefix masks and predicate values named-literal
+// free (both are all the DSL can express); throws std::invalid_argument on
+// a query outside the DSL's grammar.
+std::string query_to_dsl(const Query& q);
+
 // The compiled schedule: a stage x module grid with set labels, plus the
 // init entries — the "Figure 6 view" of a query.
 std::string dump_compiled(const CompiledQuery& cq);

@@ -144,21 +144,46 @@ void InitModule::execute(Phv& phv) {
 
 namespace {
 
-void publish_hits(const char* module_type, uint64_t& hits,
-                  uint64_t& published) {
+// Stage-resolved companion series.  Compact-layout instances are named
+// "<type>@s<stage>" (core/layout.cpp); the suffix keys a per-(module, stage)
+// child used by the differential fuzzer as its coverage bitmap
+// (docs/difftest.md).  Instances without the suffix (custom layouts) only
+// feed the per-type series.
+telemetry::Counter* stage_rule_hits(const char* module_type,
+                                    const std::string& instance) {
+  const std::size_t at = instance.rfind("@s");
+  if (at == std::string::npos) return nullptr;
+  return &telemetry::Registry::global().counter(
+      "newton_module_stage_rule_hits_total",
+      "Module rule hits by module type and pipeline stage",
+      {{"module", module_type}, {"stage", instance.substr(at + 2)}});
+}
+
+void publish_hits(const char* module_type, const std::string& instance,
+                  uint64_t& hits, uint64_t& published) {
   if (hits == published) return;
   rule_hits(module_type).add(hits - published);
+  if (telemetry::Counter* per_stage = stage_rule_hits(module_type, instance))
+    per_stage->add(hits - published);
   published = hits;
 }
 
 }  // namespace
 
-void KModule::publish_telemetry() { publish_hits("K", hits_, hits_published_); }
-void HModule::publish_telemetry() { publish_hits("H", hits_, hits_published_); }
-void SModule::publish_telemetry() { publish_hits("S", hits_, hits_published_); }
-void RModule::publish_telemetry() { publish_hits("R", hits_, hits_published_); }
+void KModule::publish_telemetry() {
+  publish_hits("K", name_, hits_, hits_published_);
+}
+void HModule::publish_telemetry() {
+  publish_hits("H", name_, hits_, hits_published_);
+}
+void SModule::publish_telemetry() {
+  publish_hits("S", name_, hits_, hits_published_);
+}
+void RModule::publish_telemetry() {
+  publish_hits("R", name_, hits_, hits_published_);
+}
 void InitModule::publish_telemetry() {
-  publish_hits("init", hits_, hits_published_);
+  publish_hits("init", name_, hits_, hits_published_);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,525 @@
+#include "difftest/harness.h"
+
+#include <optional>
+#include <sstream>
+
+#include "analyzer/analyzer.h"
+#include "core/compose.h"
+#include "core/controller.h"
+#include "core/newton_switch.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "net/net_controller.h"
+#include "net/network.h"
+#include "runtime/sharded_runtime.h"
+
+namespace newton::difftest {
+
+namespace {
+
+// Stages of the single-switch / runtime-primary pipeline; normalize() caps
+// scenarios so every install event fits (scenario.h).
+constexpr std::size_t kSingleStages = kPipelineStages;
+constexpr std::size_t kFaultStages = 12;
+// Sketch width at or above which the oracle tolerances of the calibrated
+// regime hold (mirrors tests/test_fuzz_compile.cpp's sizing).
+constexpr std::size_t kCalibratedWidth = 1u << 15;
+
+CompileOptions level(int o) {
+  CompileOptions c;
+  c.opt1 = o >= 1;
+  c.opt2 = o >= 2;
+  c.opt3 = o >= 3;
+  return c;
+}
+
+// Per-stage register need: the scheduler places at most one S module per
+// (stage, branch), and disjoint-traffic branches/queries can share a stage,
+// so worst case one row of every branch of every query lands together.
+std::size_t bank_size(const Scenario& s) {
+  std::size_t need = 16384;
+  for (const Query& q : s.queries)
+    need += q.sketch_width * q.row_partitions * q.branches.size();
+  return std::max<std::size_t>(kStateBankRegisters, need);
+}
+
+uint64_t max_window(const Trace& t, uint64_t wns) {
+  return t.packets.empty() ? 0 : t.packets.back().ts_ns / wns;
+}
+
+bool branch_has(const BranchDef& b, PrimitiveKind k) {
+  for (const Primitive& p : b.primitives)
+    if (p.kind == k) return true;
+  return false;
+}
+
+// Every stateful query sized for the calibrated oracle tolerances?
+bool calibrated(const Scenario& s) {
+  for (const Query& q : s.queries)
+    for (const BranchDef& b : q.branches)
+      if ((branch_has(b, PrimitiveKind::Distinct) ||
+           branch_has(b, PrimitiveKind::Reduce)) &&
+          q.sketch_width < kCalibratedWidth)
+        return false;
+  return true;
+}
+
+// Pull the per-window keysets for the scenario's queries out of an
+// analyzer.  `only_query` restricts to one query index (CQE/fault axes).
+ExecResult collect(const Analyzer& an, const Scenario& s, uint64_t max_w,
+                   std::optional<std::size_t> only_query) {
+  ExecResult r;
+  for (std::size_t qi = 0; qi < s.queries.size(); ++qi) {
+    if (only_query && qi != *only_query) continue;
+    const std::string name = "q" + std::to_string(qi);
+    for (std::size_t bi = 0; bi < s.queries[qi].branches.size(); ++bi)
+      for (uint64_t w = 0; w <= max_w; ++w) {
+        KeySet ks = an.detected_in_window(name, bi, w, s.window_ns());
+        if (!ks.empty()) r.detected[{qi, bi}][w] = std::move(ks);
+      }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------------
+
+// Single switch driven through a Controller; ops apply at window crossings.
+ExecResult run_single(const Scenario& s, const Trace& t, int opt) {
+  Analyzer an;
+  NewtonSwitch sw(1, kSingleStages, &an, bank_size(s));
+  sw.set_window_ns(s.window_ns());
+  Controller ctl(sw);
+  const std::vector<ResolvedOp> ops = resolve_ops(s);
+  std::size_t next = 0;
+  const auto apply_due = [&](uint64_t upto) {
+    for (; next < ops.size() && ops[next].at_packet <= upto; ++next) {
+      const ResolvedOp& op = ops[next];
+      if (op.kind == ResolvedOp::Kind::Install) {
+        const auto st = ctl.install(op.def, level(opt));
+        for (std::size_t bi = 0; bi < st.qids.size(); ++bi)
+          an.register_qid_any(st.qids[bi], op.def.name, bi);
+      } else {
+        ctl.remove("q" + std::to_string(op.query));
+      }
+    }
+  };
+  apply_due(0);
+  const uint64_t wns = s.window_ns();
+  uint64_t cur_w = UINT64_MAX;
+  for (std::size_t i = 0; i < t.packets.size(); ++i) {
+    const uint64_t w = t.packets[i].ts_ns / wns;
+    if (w != cur_w) {
+      if (cur_w != UINT64_MAX) apply_due(i);
+      cur_w = w;
+    }
+    sw.process(t.packets[i]);
+  }
+  sw.flush_telemetry();
+  return collect(an, s, max_window(t, wns), std::nullopt);
+}
+
+// Sharded runtime; mid-stream ops are handed to the runtime at their packet
+// index and apply at its next window barrier — the same boundary the other
+// executors use.
+ExecResult run_runtime(const Scenario& s, const Trace& t,
+                       std::size_t nshards) {
+  Analyzer an;
+  NewtonSwitch primary(1, kSingleStages, nullptr, bank_size(s));
+  primary.set_window_ns(s.window_ns());
+  RuntimeOptions ro;
+  ro.num_shards = nshards;
+  ro.burst = s.burst;
+  ro.record_snapshots = true;
+  const auto key = affine_shard_key(s.queries);
+  ro.shard_key = key ? *key : ShardKey::five_tuple();
+  ShardedRuntime rt(primary, ro, &an);
+  const std::vector<ResolvedOp> ops = resolve_ops(s);
+  std::size_t next = 0;
+  const auto apply = [&](const ResolvedOp& op) {
+    if (op.kind == ResolvedOp::Kind::Install)
+      rt.install(op.def, level(s.opt_level));
+    else
+      rt.withdraw("q" + std::to_string(op.query));
+  };
+  for (; next < ops.size() && ops[next].at_packet == 0; ++next)
+    apply(ops[next]);
+  rt.start();
+  for (std::size_t i = 0; i < t.packets.size(); ++i) {
+    for (; next < ops.size() && ops[next].at_packet <= i; ++next)
+      apply(ops[next]);
+    rt.process(t.packets[i]);
+  }
+  rt.finish();
+  primary.flush_telemetry();
+  ExecResult r = collect(an, s, max_window(t, s.window_ns()), std::nullopt);
+  for (const WindowSnapshot& snap : rt.snapshots())
+    for (const BranchSnapshot& b : snap.branches) {
+      if (b.query.size() < 2 || b.query[0] != 'q') continue;
+      const std::size_t qi = std::stoul(b.query.substr(1));
+      r.state[{qi, b.branch}][snap.window] = b.state;
+    }
+  return r;
+}
+
+// CQE: query 0 sliced over a line of switches (one slice per hop), every
+// packet entering at the front host.  Ops for query 0 re-deploy / withdraw
+// the sliced query at window crossings.
+ExecResult run_cqe_impl(const Scenario& s, const Trace& t,
+                        std::string& skip) {
+  const CompiledQuery cq = compile_query(s.queries[0], level(s.opt_level));
+  std::vector<QuerySlice> slices;
+  try {
+    slices = slice_query(cq, s.cqe_stages);
+  } catch (const std::exception& e) {
+    skip = std::string("slicing infeasible: ") + e.what();
+    return {};
+  }
+  // Slices overlap stage ranks in the central allocator, so one virtual
+  // stage must hold every suite of query 0.
+  const Query& q0 = s.queries[0];
+  const std::size_t cqe_bank =
+      16384 + q0.sketch_width * q0.sketch_depth * q0.row_partitions;
+  Analyzer an;
+  Network net(make_line(static_cast<int>(slices.size())), s.cqe_stages, &an,
+              cqe_bank);
+  net.set_window_ns(s.window_ns());
+  NetworkController ctl(net, &an, cqe_bank);
+  const std::vector<int> sw_path = net.topo().switches();
+  const auto hosts = net.topo().hosts();
+  const int src = hosts.front(), dst = hosts.back();
+
+  const std::vector<ResolvedOp> all_ops = resolve_ops(s);
+  std::vector<ResolvedOp> ops;
+  for (const ResolvedOp& op : all_ops)
+    if (op.query == 0) ops.push_back(op);
+  std::size_t next = 0;
+  const auto apply_due = [&](uint64_t upto) {
+    for (; next < ops.size() && ops[next].at_packet <= upto; ++next) {
+      if (ops[next].kind == ResolvedOp::Kind::Install)
+        ctl.deploy_path(ops[next].def, sw_path, level(s.opt_level));
+      else
+        ctl.withdraw("q0");
+    }
+  };
+  apply_due(0);
+  const uint64_t wns = s.window_ns();
+  uint64_t cur_w = UINT64_MAX;
+  for (std::size_t i = 0; i < t.packets.size(); ++i) {
+    const uint64_t w = t.packets[i].ts_ns / wns;
+    if (w != cur_w) {
+      if (cur_w != UINT64_MAX) apply_due(i);
+      cur_w = w;
+    }
+    net.send(t.packets[i], src, dst);
+  }
+  for (int n : net.topo().switches()) net.sw(n).flush_telemetry();
+  return collect(an, s, max_window(t, wns), 0);
+}
+
+// Capacity exceptions (slicing infeasibility, register-bank exhaustion on
+// re-deploys) skip the axis instead of aborting the scenario — the exact
+// single-switch and runtime axes still validate it.
+ExecResult run_cqe(const Scenario& s, const Trace& t, std::string& skip) {
+  try {
+    return run_cqe_impl(s, t, skip);
+  } catch (const std::exception& e) {
+    skip = std::string("exception: ") + e.what();
+    return {};
+  }
+}
+
+// Deterministic rotating host pairing (same scheme as tests/test_fault.cpp)
+// so the fault replay is identical run to run.
+std::size_t src_of(std::size_t i, std::size_t n) { return (i * 7 + 1) % n; }
+std::size_t dst_of(std::size_t i, std::size_t n) {
+  std::size_t d = (i * 11 + 5) % n;
+  if (d == src_of(i, n)) d = (d + 1) % n;
+  return d;
+}
+
+// Fault axis: query 0 resiliently deployed on a fat-tree, replayed under a
+// connectivity-preserving random link-failure plan.  Per-window keysets
+// must match the single-switch run: reroutes move packets between ingress
+// switches but never lose or duplicate a monitored packet.
+ExecResult run_fault_impl(const Scenario& s, const Trace& t,
+                          std::string& skip) {
+  Analyzer an;
+  Network net(make_fat_tree(4), kFaultStages, &an, bank_size(s));
+  net.set_window_ns(s.window_ns());
+  NetworkController ctl(net, &an, bank_size(s));
+  const auto& d = ctl.deploy(s.queries[0], level(s.opt_level));
+  if (d.slices.size() != 1) {
+    skip = "query 0 needs " + std::to_string(d.slices.size()) +
+           " slices; fault axis runs single-slice deployments only";
+    return {};
+  }
+  FaultPlan plan =
+      make_random_link_plan(net.topo(), s.fault_seed, s.fault_events,
+                            t.size(), t.size() / 6 + 1);
+  FaultInjector inj(net, plan, &ctl);
+  const auto hosts = net.topo().hosts();
+  for (std::size_t i = 0; i < t.packets.size(); ++i) {
+    inj.advance(i);
+    net.send(t.packets[i], static_cast<int>(hosts[src_of(i, hosts.size())]),
+             static_cast<int>(hosts[dst_of(i, hosts.size())]));
+  }
+  inj.finish();
+  for (int n : net.topo().switches())
+    if (net.has_switch(n)) net.sw(n).flush_telemetry();
+  return collect(an, s, max_window(t, s.window_ns()), 0);
+}
+
+ExecResult run_fault(const Scenario& s, const Trace& t, std::string& skip) {
+  try {
+    return run_fault_impl(s, t, skip);
+  } catch (const std::exception& e) {
+    skip = std::string("exception: ") + e.what();
+    return {};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+std::string render_key(const KeyArray& k) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t f = 0; f < kNumFields; ++f) {
+    if (k[f] == 0) continue;
+    os << field_name(static_cast<Field>(f)) << "=" << k[f] << " ";
+  }
+  os << ")";
+  return os.str();
+}
+
+KeySet minus(const KeySet& a, const KeySet& b) {
+  KeySet out;
+  for (const KeyArray& k : a)
+    if (!b.contains(k)) out.insert(k);
+  return out;
+}
+
+// Exact per-window keyset equality between two executions.
+void diff_exact(const ExecResult& a, const ExecResult& b, const char* axis,
+                std::optional<std::size_t> only_query,
+                std::vector<Divergence>& out) {
+  std::set<std::pair<std::size_t, std::size_t>> chains;
+  for (const auto& [qb, _] : a.detected) chains.insert(qb);
+  for (const auto& [qb, _] : b.detected) chains.insert(qb);
+  for (const auto& qb : chains) {
+    if (only_query && qb.first != *only_query) continue;
+    static const std::map<uint64_t, KeySet> kEmpty;
+    const auto ita = a.detected.find(qb);
+    const auto itb = b.detected.find(qb);
+    const auto& wa = ita == a.detected.end() ? kEmpty : ita->second;
+    const auto& wb = itb == b.detected.end() ? kEmpty : itb->second;
+    std::set<uint64_t> windows;
+    for (const auto& [w, _] : wa) windows.insert(w);
+    for (const auto& [w, _] : wb) windows.insert(w);
+    for (uint64_t w : windows) {
+      static const KeySet kNone;
+      const auto ka = wa.count(w) ? wa.at(w) : kNone;
+      const auto kb = wb.count(w) ? wb.at(w) : kNone;
+      if (ka == kb) continue;
+      const KeySet missing = minus(ka, kb);
+      const KeySet extra = minus(kb, ka);
+      std::ostringstream os;
+      os << "q" << qb.first << " branch " << qb.second << " window " << w
+         << ": " << missing.size() << " missing, " << extra.size()
+         << " extra";
+      if (!missing.empty()) os << "; e.g. missing " << render_key(*missing.begin());
+      else if (!extra.empty()) os << "; e.g. extra " << render_key(*extra.begin());
+      out.push_back({axis, os.str()});
+      break;  // one divergence per chain is enough detail
+    }
+  }
+}
+
+// One-sided report check for non-affine sharding: a worker's partial count
+// never exceeds the single worker's total and window state clears at every
+// barrier, so shard N may miss a threshold crossing rt1 saw (no worker's
+// partial reached it) but can never report a key rt1 did not.
+void diff_subset(const ExecResult& a, const ExecResult& b, const char* axis,
+                 std::vector<Divergence>& out) {
+  for (const auto& [qb, wa] : a.detected) {
+    static const std::map<uint64_t, KeySet> kEmpty;
+    const auto itb = b.detected.find(qb);
+    const auto& wb = itb == b.detected.end() ? kEmpty : itb->second;
+    for (const auto& [w, ka] : wa) {
+      static const KeySet kNone;
+      const KeySet over = minus(ka, wb.count(w) ? wb.at(w) : kNone);
+      if (over.empty()) continue;
+      std::ostringstream os;
+      os << "q" << qb.first << " branch " << qb.second << " window " << w
+         << ": " << over.size() << " key(s) reported only at N shards; e.g. "
+         << render_key(*over.begin());
+      out.push_back({axis, os.str()});
+      break;
+    }
+  }
+}
+
+// Merged end-of-window register state must agree bit for bit between shard
+// counts — this is the check that exercises the window merge itself (sums
+// re-added, bloom bits or-ed), independent of report timing.
+void diff_state(const ExecResult& a, const ExecResult& b, const char* axis,
+                std::vector<Divergence>& out) {
+  std::set<std::pair<std::size_t, std::size_t>> chains;
+  for (const auto& [qb, _] : a.state) chains.insert(qb);
+  for (const auto& [qb, _] : b.state) chains.insert(qb);
+  for (const auto& qb : chains) {
+    static const std::map<uint64_t, std::vector<uint32_t>> kEmpty;
+    const auto ita = a.state.find(qb);
+    const auto itb = b.state.find(qb);
+    const auto& wa = ita == a.state.end() ? kEmpty : ita->second;
+    const auto& wb = itb == b.state.end() ? kEmpty : itb->second;
+    std::set<uint64_t> windows;
+    for (const auto& [w, _] : wa) windows.insert(w);
+    for (const auto& [w, _] : wb) windows.insert(w);
+    for (uint64_t w : windows) {
+      static const std::vector<uint32_t> kNone;
+      const auto& sa = wa.count(w) ? wa.at(w) : kNone;
+      const auto& sb = wb.count(w) ? wb.at(w) : kNone;
+      if (sa == sb) continue;
+      std::ostringstream os;
+      os << "q" << qb.first << " branch " << qb.second << " window " << w
+         << ": merged state differs (" << sa.size() << " vs " << sb.size()
+         << " registers";
+      for (std::size_t i = 0; i < std::min(sa.size(), sb.size()); ++i)
+        if (sa[i] != sb[i]) {
+          os << "; first at [" << i << "]: " << sa[i] << " vs " << sb[i];
+          break;
+        }
+      os << ")";
+      out.push_back({axis, os.str()});
+      break;
+    }
+  }
+}
+
+// Oracle comparison: union-over-windows keysets with the calibrated sketch
+// tolerances (distinct => bounded false negatives, reduce+when => bounded
+// false positives from count-min overcounting).
+void diff_reference(const ExecResult& ref, const ExecResult& got,
+                    const Scenario& s, std::vector<Divergence>& out) {
+  for (std::size_t qi = 0; qi < s.queries.size(); ++qi)
+    for (std::size_t bi = 0; bi < s.queries[qi].branches.size(); ++bi) {
+      const BranchDef& b = s.queries[qi].branches[bi];
+      const KeySet expect = ref.passing_union(qi, bi);
+      const KeySet seen = got.passing_union(qi, bi);
+      const KeySet missing = minus(expect, seen);
+      const KeySet extra = minus(seen, expect);
+      const std::size_t fn_allow =
+          branch_has(b, PrimitiveKind::Distinct)
+              ? std::max<std::size_t>(4, expect.size() / 100)
+              : 0;
+      const std::size_t fp_allow =
+          branch_has(b, PrimitiveKind::Reduce)
+              ? std::max<std::size_t>(2, expect.size() / 100)
+              : 0;
+      if (missing.size() <= fn_allow && extra.size() <= fp_allow) continue;
+      std::ostringstream os;
+      os << "q" << qi << " branch " << bi << ": pipeline vs oracle: "
+         << missing.size() << " missing (allowed " << fn_allow << "), "
+         << extra.size() << " extra (allowed " << fp_allow << "), "
+         << expect.size() << " expected";
+      if (!missing.empty()) os << "; e.g. missing " << render_key(*missing.begin());
+      else if (!extra.empty()) os << "; e.g. extra " << render_key(*extra.begin());
+      out.push_back({"ref-vs-o0", os.str()});
+    }
+}
+
+}  // namespace
+
+CheckOutcome check_scenario(const Scenario& s) {
+  CheckOutcome o;
+  const Trace t = s.trace.build();
+  o.packets = t.size();
+
+  const ExecResult ref = run_reference(s, t);
+  const ExecResult o0 = run_single(s, t, 0);
+  o.axes.push_back({"o0", true, ""});
+  if (calibrated(s)) {
+    diff_reference(ref, o0, s, o.divergences);
+    o.axes.push_back({"ref-vs-o0", true, ""});
+  } else {
+    o.axes.push_back(
+        {"ref-vs-o0", false, "stress-regime sketches: oracle axis skipped"});
+  }
+
+  const ExecResult oL = run_single(s, t, s.opt_level);
+  diff_exact(oL, o0, "oL-vs-o0", std::nullopt, o.divergences);
+  o.axes.push_back({"oL-vs-o0", true, ""});
+
+  const ExecResult rt1 = run_runtime(s, t, 1);
+  diff_exact(rt1, o0, "rt1-vs-o0", std::nullopt, o.divergences);
+  o.axes.push_back({"rt1-vs-o0", true, ""});
+
+  if (s.shards > 1) {
+    bool any_distinct = false;
+    for (const Query& q : s.queries)
+      for (const BranchDef& b : q.branches)
+        any_distinct |= branch_has(b, PrimitiveKind::Distinct);
+    const bool refined = affine_shard_key(s.queries).has_value();
+    if (!refined && any_distinct) {
+      // Per-worker bloom suppression diverges by design when one distinct
+      // key's packets straddle shards; normalize() never generates this,
+      // but a hand-written scenario can.
+      o.axes.push_back({"rtN-vs-rt1", false,
+                        "shard key does not refine the distinct keys"});
+    } else {
+      const ExecResult rtN = run_runtime(s, t, s.shards);
+      if (refined)
+        diff_exact(rtN, rt1, "rtN-vs-rt1", std::nullopt, o.divergences);
+      else
+        diff_subset(rtN, rt1, "rtN-vs-rt1", o.divergences);
+      diff_state(rtN, rt1, "rtN-vs-rt1", o.divergences);
+      o.axes.push_back({"rtN-vs-rt1", true, ""});
+    }
+  }
+
+  if (s.cqe_stages > 0) {
+    std::string skip;
+    const ExecResult cqe = run_cqe(s, t, skip);
+    if (skip.empty()) {
+      diff_exact(cqe, o0, "cqe-vs-o0", 0, o.divergences);
+      o.axes.push_back({"cqe-vs-o0", true, ""});
+    } else {
+      o.axes.push_back({"cqe-vs-o0", false, skip});
+    }
+  }
+
+  if (s.fault) {
+    std::string skip;
+    const ExecResult flt = run_fault(s, t, skip);
+    if (skip.empty()) {
+      diff_exact(flt, o0, "fault-vs-o0", 0, o.divergences);
+      o.axes.push_back({"fault-vs-o0", true, ""});
+    } else {
+      o.axes.push_back({"fault-vs-o0", false, skip});
+    }
+  }
+  return o;
+}
+
+std::string describe(const CheckOutcome& o) {
+  std::ostringstream os;
+  os << o.packets << " packets; axes:";
+  for (const AxisReport& a : o.axes) {
+    os << " " << a.axis;
+    if (!a.ran) os << "[skipped: " << a.skip_reason << "]";
+  }
+  if (o.divergences.empty()) {
+    os << "; OK";
+  } else {
+    os << "; " << o.divergences.size() << " divergence(s):";
+    for (const Divergence& d : o.divergences)
+      os << "\n  [" << d.axis << "] " << d.detail;
+  }
+  return os.str();
+}
+
+}  // namespace newton::difftest

@@ -1,0 +1,26 @@
+// Scenario minimizer: greedily shrinks a failing Scenario while a caller
+// predicate keeps reporting failure.  The fuzzer passes "check_scenario
+// finds a divergence" as the predicate; tests pass synthetic predicates.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "difftest/scenario.h"
+
+namespace newton::difftest {
+
+// Returns true when the candidate scenario still exhibits the failure.  A
+// predicate that throws is treated as "does not fail" (the candidate is
+// rejected), so invalid intermediate shrinks cannot hijack minimization.
+using FailPredicate = std::function<bool(const Scenario&)>;
+
+// Shrink `s` until no single simplification keeps `fails` true or the
+// attempt budget runs out.  Passes, each applied to fixpoint: drop whole
+// queries (ops remapped), drop runtime ops, turn off the fault/CQE axes,
+// collapse shards and burst, lower the optimization level, halve the trace
+// and drop injections.  The input must satisfy `fails(s)`.
+Scenario minimize_scenario(const Scenario& s, const FailPredicate& fails,
+                           std::size_t max_attempts = 400);
+
+}  // namespace newton::difftest

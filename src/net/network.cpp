@@ -66,6 +66,10 @@ Network::SendStats Network::send(const Packet& pkt, int src_host,
   return send_along(pkt, switches_on(topo_, *path));
 }
 
+void Network::set_window_ns(uint64_t w) {
+  for (auto& [node, sw] : switches_) sw->set_window_ns(w);
+}
+
 Network::SendStats Network::send_along(const Packet& pkt,
                                        const std::vector<int>& sw_path) {
   SendStats st;

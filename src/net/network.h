@@ -42,6 +42,12 @@ class Network {
   // Forward along an explicit switch path (the paper's line-testbed mode).
   SendStats send_along(const Packet& pkt, const std::vector<int>& sw_path);
 
+  // Set the epoch length of every switch in the network at once — the CQE
+  // differential harness (src/difftest/) drives whole-network runs at the
+  // scenario's window, which must agree across every hop for the slices'
+  // windowed state to roll together.
+  void set_window_ns(uint64_t w);
+
   void set_deferred_handler(
       std::function<void(const Packet&, const SpHeader&)> h) {
     deferred_ = std::move(h);

@@ -135,4 +135,67 @@ std::string to_json(const Snapshot& s, int indent) {
   return out;
 }
 
+namespace {
+
+uint64_t fnv1a(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t series_hash(const Sample& m) {
+  uint64_t h = fnv1a(0xcbf29ce484222325ull, m.name);
+  for (const auto& [k, v] : m.labels) {
+    h = fnv1a(h, k);
+    h = fnv1a(h, v);
+  }
+  return h;
+}
+
+// log2 magnitude bucket: 0 stays 0, values land in 1 + floor(log2(v)).
+uint64_t magnitude(double v) {
+  if (v <= 0) return 0;
+  uint64_t n = static_cast<uint64_t>(v);
+  uint64_t b = 1;
+  while (n > 1) {
+    n >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+uint64_t mix(uint64_t series, uint64_t salt) {
+  uint64_t h = series ^ (salt * 0x9e3779b97f4a7c15ull);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::vector<uint64_t> coverage_keys(const Snapshot& s) {
+  std::vector<uint64_t> keys;
+  keys.reserve(s.samples.size());
+  for (const Sample& m : s.samples) {
+    // Series derived from wall time or thread scheduling (merge durations,
+    // ring occupancy/backpressure) vary between identical runs; a coverage
+    // signal must be a pure function of the executed scenario.
+    if (m.name.find("_duration_") != std::string::npos ||
+        m.name.find("_occupancy") != std::string::npos ||
+        m.name.find("_stalls_") != std::string::npos)
+      continue;
+    const uint64_t id = series_hash(m);
+    if (m.kind == MetricKind::Histogram) {
+      for (std::size_t b = 0; b < m.buckets.size(); ++b)
+        if (m.buckets[b] != 0) keys.push_back(mix(id, 1000 + b));
+    } else {
+      if (m.value != 0) keys.push_back(mix(id, magnitude(m.value)));
+    }
+  }
+  return keys;
+}
+
 }  // namespace newton::telemetry

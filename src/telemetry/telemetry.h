@@ -195,4 +195,14 @@ class Registry {
 std::string to_prometheus(const Snapshot& s);
 std::string to_json(const Snapshot& s, int indent = 0);
 
+// Coverage export (export.cpp): fold a snapshot into stable 64-bit coverage
+// keys, one per (series identity, log2-bucketed magnitude) pair — histograms
+// contribute one key per non-empty bucket.  The differential fuzzer
+// (src/difftest/) hashes these into its corpus-retention bitmap: a scenario
+// that lights a series never seen before, or drives a known series into a
+// new order of magnitude, counts as new coverage.  Keys depend only on
+// (name, labels, bucketed value), so identical activity always produces
+// identical keys.
+std::vector<uint64_t> coverage_keys(const Snapshot& s);
+
 }  // namespace newton::telemetry
