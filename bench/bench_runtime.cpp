@@ -21,6 +21,9 @@
 //                                     the metrics shard count (default: the
 //                                     production burst 64 only)
 //                [--packets N]        trace size override (CI smoke: 100000)
+//                [--pcap FILE]        benchmark a real capture instead of
+//                                     the synthetic trace (tiled in time up
+//                                     to the --packets target)
 //                [--min-wall-speedup X]  exit 1 if the metrics-shard wall
 //                                     speedup over 1 shard lands below X
 #include <cstdio>
@@ -36,6 +39,7 @@
 #include "core/queries.h"
 #include "runtime/sharded_runtime.h"
 #include "telemetry/telemetry.h"
+#include "trace/pcap.h"
 
 namespace newton {
 namespace {
@@ -146,6 +150,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> shard_counts{1, 2, 4, 8};
   std::vector<std::size_t> burst_sweep;  // extra bursts at metrics_shards
   std::size_t packets_override = 0;
+  std::string pcap_path;  // real-capture input instead of the generator
   double min_wall_speedup = 0.0;  // 0 = no gate
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -163,13 +168,15 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
       packets_override = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--pcap") == 0 && i + 1 < argc) {
+      pcap_path = argv[++i];
     } else if (std::strcmp(argv[i], "--min-wall-speedup") == 0 &&
                i + 1 < argc) {
       min_wall_speedup = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: bench_runtime [--shards N] [--burst B1,B2,...] "
-                   "[--packets N] [--min-wall-speedup X]\n");
+                   "[--packets N] [--pcap FILE] [--min-wall-speedup X]\n");
       return 2;
     }
   }
@@ -177,14 +184,28 @@ int main(int argc, char** argv) {
   const std::size_t target =
       packets_override != 0 ? packets_override
                             : (bench::full_scale() ? 4'000'000 : 1'000'000);
-  TraceProfile prof = caida_like(7);
-  prof.num_flows = 30'000;
-  Trace base = generate_trace(prof);
-  std::mt19937 rng(1007);
-  inject_syn_flood(base, ipv4(172, 16, 200, 1), 300, 1, 50'000'000, rng);
-  inject_udp_flood(base, ipv4(172, 16, 200, 3), 120, 2, 250'000'000, rng);
-  inject_super_spreader(base, ipv4(198, 18, 4, 4), 150, 550'000'000, rng);
-  base.sort_by_time();
+  Trace base;
+  if (!pcap_path.empty()) {
+    PcapLoadStats pst;
+    base = load_pcap(pcap_path, &pst);
+    std::printf("pcap %s: %llu frame(s), skipped %llu (vlan %llu, ipv6 "
+                "%llu, other %llu)\n",
+                pcap_path.c_str(),
+                static_cast<unsigned long long>(pst.frames),
+                static_cast<unsigned long long>(pst.skipped),
+                static_cast<unsigned long long>(pst.skipped_vlan),
+                static_cast<unsigned long long>(pst.skipped_ipv6),
+                static_cast<unsigned long long>(pst.skipped_other));
+  } else {
+    TraceProfile prof = caida_like(7);
+    prof.num_flows = 30'000;
+    base = generate_trace(prof);
+    std::mt19937 rng(1007);
+    inject_syn_flood(base, ipv4(172, 16, 200, 1), 300, 1, 50'000'000, rng);
+    inject_udp_flood(base, ipv4(172, 16, 200, 3), 120, 2, 250'000'000, rng);
+    inject_super_spreader(base, ipv4(198, 18, 4, 4), 150, 550'000'000, rng);
+    base.sort_by_time();
+  }
   const Trace t = tile_to(std::move(base), target);
   std::printf("trace: %zu packets, %.2fs span, host cores: %u\n", t.size(),
               static_cast<double>(t.duration_ns()) / 1e9,

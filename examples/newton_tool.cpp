@@ -15,6 +15,13 @@
 //   newton_tool inject <q1..q9> [seed] [events]              fault replay:
 //     deploy the query resiliently on a fat-tree, replay a trace under a
 //     seeded link-failure plan and print the plan + failover counters
+//   newton_tool detectors                                    list the real-
+//     detector scenario library (src/detectors/) with each query chain
+//   newton_tool replay --pcap FILE [--rate R|inf] [--shards N]
+//                      [--detectors a,b|all]                 live-ingest a
+//     capture through the sharded runtime at R x capture speed (inf =
+//     unpaced) with detectors installed; prints per-source telemetry and
+//     each detector's accuracy vs exact ground truth from the same capture
 //   newton_tool fuzz [--runs N] [--seconds S] [--seed S]     differential
 //     fuzz campaign: random scenarios cross-checked against the reference
 //     oracle and every execution mode (docs/difftest.md); failing cases
@@ -39,11 +46,16 @@
 #include "core/p4gen.h"
 #include "core/parse_query.h"
 #include "core/queries.h"
+#include "detectors/detector.h"
 #include "difftest/fuzzer.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
+#include "ingest/pcap_source.h"
+#include "ingest/pump.h"
+#include "ingest/replay_source.h"
 #include "net/net_controller.h"
 #include "net/network.h"
+#include "runtime/sharded_runtime.h"
 #include "telemetry/telemetry.h"
 #include "trace/pcap.h"
 #include "trace/trace_io.h"
@@ -77,6 +89,9 @@ int usage() {
                "       newton_tool p4 [stages]\n"
                "       newton_tool rules <q1..q9>\n"
                "       newton_tool inject <q1..q9> [seed] [events]\n"
+               "       newton_tool detectors\n"
+               "       newton_tool replay --pcap FILE [--rate R|inf]\n"
+               "                          [--shards N] [--detectors a,b|all]\n"
                "       newton_tool fuzz [--runs N] [--seconds S] [--seed S]\n"
                "                        [--corpus DIR] [--out DIR]\n"
                "                        [--replay FILE] [--no-minimize] [-v]\n"
@@ -240,6 +255,133 @@ int cmd_inject(int argc, char** argv) {
   return 0;
 }
 
+int cmd_detectors() {
+  for (const auto& d : detectors::detector_library())
+    std::printf("%-14s %s\n  %s\n", d.id.c_str(), d.intent.c_str(),
+                d.chain.c_str());
+  return 0;
+}
+
+// replay: stream a capture through the live-ingestion path into the sharded
+// runtime with the detector library installed, then score every detector
+// against exact ground truth from the same capture.
+int cmd_replay(int argc, char** argv) {
+  std::string pcap_path;
+  std::string which = "all";
+  double rate = 0;  // unpaced
+  std::size_t shards = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--pcap" && (v = next())) {
+      pcap_path = v;
+    } else if (a == "--rate" && (v = next())) {
+      rate = std::strcmp(v, "inf") == 0 ? 0 : std::atof(v);  // "10x" parses
+    } else if (a == "--shards" && (v = next())) {
+      shards = static_cast<std::size_t>(std::atol(v));
+    } else if (a == "--detectors" && (v = next())) {
+      which = v;
+    } else {
+      return usage();
+    }
+  }
+  if (pcap_path.empty()) return usage();
+
+  const auto lib = detectors::detector_library();
+  std::vector<const detectors::Detector*> selected;
+  if (which == "all") {
+    for (const auto& d : lib) selected.push_back(&d);
+  } else {
+    std::string rest = which;
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      const std::string id = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      const auto* d = detectors::find_detector(lib, id);
+      if (d == nullptr) {
+        std::fprintf(stderr, "unknown detector '%s' (see: newton_tool "
+                     "detectors)\n", id.c_str());
+        return 2;
+      }
+      selected.push_back(d);
+    }
+  }
+  if (selected.empty()) return usage();
+
+  // One pass per sharding-compatible group: the runtime's exact semantics
+  // need the shard key to be affine for every installed stateful key, and
+  // sip-keyed / dip-keyed / dport-keyed detectors have no common key.
+  const auto groups = detectors::group_by_shard_key(selected);
+  // Ground truth comes from the same capture, materialized once.
+  const Trace t = load_pcap(pcap_path);
+  int rc = 0;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const detectors::DetectorGroup& g = groups[gi];
+    Analyzer an;
+    detectors::ValueSink values(g.members.front()->query.window_ns);
+    // Deep stage budget: the whole group installs concurrently.
+    NewtonSwitch sw(1, 64, nullptr);
+    RuntimeOptions ro;
+    ro.num_shards = shards;
+    ro.shard_key = g.key;
+    ro.record_snapshots = false;
+    ShardedRuntime rt(sw, ro, &an);
+    rt.set_report_sink(&values);
+    for (const auto* d : g.members) rt.install(d->query);
+
+    ingest::PcapFileSource file(pcap_path);
+    ingest::ReplaySource src(file, {.rate = rate});
+    ingest::IngestPump pump(rt);
+    const ingest::PumpStats ps = pump.run(src);
+    rt.finish();
+
+    const ingest::SourceStats& ss = ps.source;
+    std::printf(
+        "pass %zu/%zu (shard key %s%s): %llu frame(s) -> %llu packet(s), "
+        "%.2f MB, %llu window(s)\n"
+        "  skipped: %llu vlan, %llu ipv6, %llu other; dropped %llu; "
+        "%llu batch(es), %llu would-block\n",
+        gi + 1, groups.size(),
+        std::string(field_name(g.key.fields.front())).c_str(),
+        g.key.masks.empty() || g.key.masks.front() == 0xffffffffu ? ""
+                                                                  : "/masked",
+        static_cast<unsigned long long>(ss.frames),
+        static_cast<unsigned long long>(ss.packets),
+        static_cast<double>(ss.bytes) / 1e6,
+        static_cast<unsigned long long>(rt.stats().windows),
+        static_cast<unsigned long long>(ss.skipped_vlan),
+        static_cast<unsigned long long>(ss.skipped_ipv6),
+        static_cast<unsigned long long>(ss.skipped_other),
+        static_cast<unsigned long long>(ss.dropped),
+        static_cast<unsigned long long>(ps.batches),
+        static_cast<unsigned long long>(ps.would_block));
+    if (ss.paced_packets > 0)
+      std::printf("  pacing (%.2fx): lag avg %.1f us, max %.1f us over %llu "
+                  "packet(s)\n",
+                  rate, static_cast<double>(ss.pacing_lag_ns_total) / 1e3 /
+                            static_cast<double>(ss.paced_packets),
+                  static_cast<double>(ss.pacing_lag_ns_max) / 1e3,
+                  static_cast<unsigned long long>(ss.paced_packets));
+
+    const detectors::EvalInput in{t, an, values};
+    for (const auto* d : g.members) {
+      const detectors::Evaluation e = d->evaluate(in);
+      const bool ok = e.acc.precision() >= d->min_precision &&
+                      e.acc.recall() >= d->min_recall;
+      if (!ok) rc = 1;
+      std::printf(
+          "  %-14s %zu detected / %zu truth  precision %.3f recall %.3f "
+          "f1 %.3f  [%s]\n",
+          d->id.c_str(), e.detected_keys, e.truth_keys, e.acc.precision(),
+          e.acc.recall(), e.acc.f1(), ok ? "ok" : "MISS");
+    }
+  }
+  return rc;
+}
+
 int cmd_fuzz(int argc, char** argv) {
   difftest::FuzzOptions fo;
   std::string replay;
@@ -350,6 +492,8 @@ int run_command(int argc, char** argv) {
       return 0;
     }
     if (cmd == "inject") return cmd_inject(argc, argv);
+    if (cmd == "detectors") return cmd_detectors();
+    if (cmd == "replay") return cmd_replay(argc, argv);
     if (cmd == "fuzz") return cmd_fuzz(argc, argv);
     if (cmd == "rules") {
       const int qi = argc > 2 ? query_index(argv[2]) : -1;

@@ -56,6 +56,14 @@ class Analyzer : public ReportSink {
   QueryStats stats(const std::string& query, std::size_t branch,
                    uint64_t window_ns) const;
 
+  // qid -> (query, branch) registrations made via register_qid_any — lets
+  // value-extracting sinks (src/detectors/) attribute raw reports to the
+  // branch whose aggregate they carry.
+  const std::map<uint16_t, std::pair<std::string, std::size_t>>& qid_owners()
+      const {
+    return qid_any_map_;
+  }
+
   // The keys reported most often for one branch (e.g. the loudest victims),
   // most-reported first.
   std::vector<std::pair<KeyArray, std::size_t>> top_keys(

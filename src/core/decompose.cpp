@@ -285,9 +285,12 @@ BranchModules decompose_branch(const Query& q, std::size_t branch_index,
         ModuleSpec r = base_spec(ModuleType::R, branch_index, pi, 0);
         // The exact-crossing report form is only valid when this `when` is
         // the branch's last primitive AND the tuple keys are still intact
-        // in a metadata set (no filter clause clobbered them since).
-        const bool terminal =
-            pi + 1 == def.primitives.size() && !tuple_clobbered;
+        // in a metadata set (no filter clause clobbered them since).  A
+        // streaming `when` opts out: it keeps the mid-chain gate form so the
+        // terminal report fires per surviving packet, exporting the running
+        // aggregate instead of one crossing event.
+        const bool terminal = pi + 1 == def.primitives.size() &&
+                              !tuple_clobbered && p.when_stream == 0;
         // Does the threshold apply to a byte sum?
         bool byte_sum = false;
         for (std::size_t j = pi; j-- > first_prim;) {

@@ -130,7 +130,8 @@ void emit_primitive(std::ostringstream& os, const Primitive& p) {
       os << ", " << (p.value_field_is_len ? "bytes" : "count") << ")";
       break;
     case PrimitiveKind::When:
-      os << "when(" << cmp_token(p.when_op) << " " << p.when_value << ")";
+      os << (p.when_stream ? "when_stream(" : "when(") << cmp_token(p.when_op)
+         << " " << p.when_value << ")";
       break;
   }
 }

@@ -250,6 +250,13 @@ Query parse_query(const std::string& name, const std::string& text) {
       b.reduce(keys, Agg::Sum, *agg == "bytes");
       lx.expect(')', "after aggregation");
       any_primitive = true;
+    } else if (lx.try_word("when_stream")) {
+      lx.expect('(', "after when_stream");
+      const Cmp op = cmp_of(lx);
+      const uint32_t v = value_of(lx);
+      b.when_stream(op, v);
+      lx.expect(')', "after threshold");
+      any_primitive = true;
     } else if (lx.try_word("when")) {
       lx.expect('(', "after when");
       const Cmp op = cmp_of(lx);

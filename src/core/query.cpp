@@ -98,6 +98,12 @@ QueryBuilder& QueryBuilder::when(Cmp op, uint32_t value) {
   return *this;
 }
 
+QueryBuilder& QueryBuilder::when_stream(Cmp op, uint32_t value) {
+  when(op, value);
+  cur().primitives.back().when_stream = 1;
+  return *this;
+}
+
 QueryBuilder& QueryBuilder::branch(std::string name) {
   if (!cur().primitives.empty() || q_.branches.size() > 1 ||
       !q_.branches.front().primitives.empty()) {

@@ -81,6 +81,11 @@ struct Primitive {
   uint32_t value_field_is_len = 0;  // Reduce: 0 => count(+1), 1 => +pkt_len
   Cmp when_op = Cmp::Ge;       // When
   uint32_t when_value = 0;     // When
+  // When: 0 => exact-crossing (one report per key per window, fired the
+  // instant the aggregate reaches the threshold); 1 => streaming (every
+  // packet past the threshold reports, so the report stream carries the
+  // running aggregate — value-exporting queries read the per-window maximum).
+  uint32_t when_stream = 0;
 };
 
 // One sub-query chain.
@@ -117,6 +122,9 @@ class QueryBuilder {
   QueryBuilder& reduce(std::vector<KeySel> keys, Agg agg,
                        bool sum_pkt_len = false);
   QueryBuilder& when(Cmp op, uint32_t value);
+  // Streaming `when`: gate like when(), but report every surviving packet
+  // so the analyzer-side consumer sees the running aggregate (ValueSink).
+  QueryBuilder& when_stream(Cmp op, uint32_t value);
 
   // Start a new parallel branch (results joined on the analyzer).
   QueryBuilder& branch(std::string name = "");

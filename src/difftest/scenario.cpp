@@ -46,7 +46,9 @@ bool is_stateful(const Query& q) {
 std::optional<ShardKey> affine_shard_key(const std::vector<Query>& qs) {
   bool any_stateful = false;
   std::array<bool, kNumFields> common{};
+  std::array<uint32_t, kNumFields> mask{};
   common.fill(true);
+  mask.fill(0xffffffffu);
   for (const Query& q : qs)
     for (const BranchDef& b : q.branches)
       for (const Primitive& p : b.primitives) {
@@ -55,16 +57,27 @@ std::optional<ShardKey> affine_shard_key(const std::vector<Query>& qs) {
           continue;
         any_stateful = true;
         std::array<bool, kNumFields> here{};
-        for (const KeySel& k : p.keys)
-          if ((k.mask & field_full_mask(k.field)) == field_full_mask(k.field))
-            here[index(k.field)] = true;
+        for (const KeySel& k : p.keys) {
+          here[index(k.field)] = true;
+          // Sharding on the AND of every key's mask is a coarsening of each
+          // key (equal key value => equal masked value), hence affine for
+          // all of them — this is what keeps prefix-masked queries (e.g.
+          // /8-/16-/24 heavy-hitter branches) shardable.
+          mask[index(k.field)] &= k.mask;
+        }
         for (std::size_t f = 0; f < kNumFields; ++f) common[f] &= here[f];
       }
   if (!any_stateful) return ShardKey::five_tuple();
   for (Field f : {Field::SrcIp, Field::DstIp, Field::SrcPort, Field::DstPort,
                   Field::PktLen, Field::TcpFlags, Field::Ttl, Field::IpId,
-                  Field::Proto})
-    if (common[index(f)]) return ShardKey::on({f});
+                  Field::Proto}) {
+    if (!common[index(f)]) continue;
+    const uint32_t m = mask[index(f)] & field_full_mask(f);
+    if (m == field_full_mask(f)) return ShardKey::on({f});
+    if (m != 0) return ShardKey::on_masked({f}, {mask[index(f)]});
+    // Disjoint masks AND to zero: a constant shard key is technically
+    // affine but degenerate; try the next field instead.
+  }
   return std::nullopt;
 }
 
@@ -91,6 +104,16 @@ Trace TraceSpec::build() const {
       inject_super_spreader(t, inj.a, inj.n, inj.at_ns, rng);
     else if (inj.kind == "dns_no_tcp")
       inject_dns_no_tcp(t, inj.a, inj.b, inj.n, inj.at_ns, rng);
+    else if (inj.kind == "volume_burst")
+      // a = victim, b = dport, n = packets, m = burst duration in ms.
+      inject_volume_burst(t, inj.a, static_cast<uint16_t>(inj.b), inj.n,
+                          inj.at_ns,
+                          std::max<uint64_t>(1, inj.m) * 1'000'000, rng);
+    else if (inj.kind == "prefix_flood")
+      // a = /24 prefix base, b = victim, n = sources, m = packets each.
+      inject_prefix_flood(t, inj.a, inj.n, std::max<std::size_t>(1, inj.m),
+                          inj.b, /*dport=*/8888, /*pkt_len=*/128, inj.at_ns,
+                          rng);
     else
       throw std::invalid_argument("unknown injection kind: " + inj.kind);
   }
@@ -412,7 +435,17 @@ InjectionSpec gen_injection(std::mt19937_64& rng, bool wide) {
   i.m = rnd(rng, 1, 2);
   i.kind = pick<std::string>(
       rng, {"syn_flood", "udp_flood", "port_scan", "ssh_brute", "slowloris",
-            "super_spreader", "dns_no_tcp"});
+            "super_spreader", "dns_no_tcp", "volume_burst", "prefix_flood"});
+  if (i.kind == "volume_burst") {
+    i.b = rnd(rng, 1024, 65535);       // dport, not an address
+    i.n = rnd(rng, 40, wide ? 80 : 240);  // packets in the burst
+    i.m = rnd(rng, 10, 60);            // duration ms
+  } else if (i.kind == "prefix_flood") {
+    i.a = (0xC6120000u + static_cast<uint32_t>(rnd(rng, 1, 60) << 8));  // /24
+    i.b = 0xAC100000u + static_cast<uint32_t>(rnd(rng, 1, 4000));  // victim
+    i.n = rnd(rng, 4, 16);   // sources in the prefix
+    i.m = rnd(rng, 4, 12);   // packets per source
+  }
   return i;
 }
 

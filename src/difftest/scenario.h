@@ -34,7 +34,8 @@ constexpr std::size_t kPipelineStages = 64;
 // ports, attempts...).
 struct InjectionSpec {
   std::string kind;    // syn_flood | udp_flood | port_scan | ssh_brute |
-                       // slowloris | super_spreader | dns_no_tcp
+                       // slowloris | super_spreader | dns_no_tcp |
+                       // volume_burst | prefix_flood
   uint32_t a = 0;
   uint32_t b = 0;
   std::size_t n = 0;
@@ -104,11 +105,12 @@ struct ResolvedOp {
 std::vector<ResolvedOp> resolve_ops(const Scenario& s);
 
 // A shard key that preserves exact sharded-runtime semantics for this query
-// set: a single field that is selected with a full mask by EVERY stateful
-// (distinct/reduce) primitive, so all packets contributing to one
-// aggregation key land on one shard.  Returns the 5-tuple key when no query
-// is stateful, and nullopt when no common field exists (the scenario must
-// then run with 1 shard).
+// set: a single field selected by EVERY stateful (distinct/reduce)
+// primitive, hashed under the AND of all key masks — a coarsening of every
+// aggregation key, so all packets contributing to one key land on one shard
+// (prefix-masked heavy-hitter chains shard on their widest prefix).
+// Returns the 5-tuple key when no query is stateful, and nullopt when no
+// common field exists (the scenario must then run with 1 shard).
 std::optional<ShardKey> affine_shard_key(const std::vector<Query>& qs);
 
 // Deterministic scenario generation and mutation (the fuzzer's input

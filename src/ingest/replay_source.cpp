@@ -1,0 +1,91 @@
+#include "ingest/replay_source.h"
+
+#include <ctime>
+
+namespace newton::ingest {
+namespace {
+
+constexpr std::size_t kReplayBuffer = 256;
+
+uint64_t mono_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+ReplaySource::ReplaySource(Source& inner, ReplayOptions opts)
+    : inner_(&inner), opts_(opts), paced_(opts.rate > 0.0) {
+  buf_.resize(kReplayBuffer);
+  if (paced_ && opts_.registry != nullptr)
+    lag_us_ = &opts_.registry->histogram(
+        "newton_ingest_pacing_lag_us",
+        "Release lateness vs. the replay schedule, per packet (us)",
+        {10, 100, 1'000, 10'000, 100'000, 1'000'000},
+        {{"source", inner.name()}});
+}
+
+uint64_t ReplaySource::due_at(uint64_t ts_ns) const {
+  const uint64_t dt = ts_ns >= capture_start_ns_ ? ts_ns - capture_start_ns_ : 0;
+  return wall_start_ns_ +
+         static_cast<uint64_t>(static_cast<double>(dt) / opts_.rate);
+}
+
+void ReplaySource::refill() {
+  if (head_ < size_) return;
+  head_ = 0;
+  size_ = inner_->pull(buf_.data(), buf_.size());
+}
+
+std::size_t ReplaySource::pull(Packet* out, std::size_t max) {
+  if (!paced_) return inner_->pull(out, max);  // infinite rate: passthrough
+
+  refill();
+  if (size_ == 0) return 0;  // inner exhausted or would-block
+
+  if (!started_) {
+    started_ = true;
+    wall_start_ns_ = mono_ns();
+    capture_start_ns_ = buf_[0].ts_ns;
+  }
+
+  const uint64_t now = mono_ns();
+  std::size_t n = 0;
+  while (n < max && head_ < size_) {
+    const uint64_t due = due_at(buf_[head_].ts_ns);
+    if (due > now) break;  // head not yet due; ns_until_ready covers the gap
+    out[n] = buf_[head_];
+    const uint64_t lag = now - due;
+    ++stats_.paced_packets;
+    stats_.pacing_lag_ns_total += lag;
+    if (lag > stats_.pacing_lag_ns_max) stats_.pacing_lag_ns_max = lag;
+    if (lag_us_ != nullptr)
+      lag_us_->observe(static_cast<double>(lag) / 1'000.0);
+    ++n;
+    ++head_;
+  }
+  return n;
+}
+
+const SourceStats& ReplaySource::stats() const {
+  merged_ = inner_->stats();
+  merged_.paced_packets = stats_.paced_packets;
+  merged_.pacing_lag_ns_total = stats_.pacing_lag_ns_total;
+  merged_.pacing_lag_ns_max = stats_.pacing_lag_ns_max;
+  return merged_;
+}
+
+bool ReplaySource::done() const {
+  return head_ >= size_ && inner_->done();
+}
+
+uint64_t ReplaySource::ns_until_ready() const {
+  if (!paced_ || !started_ || head_ >= size_) return inner_->ns_until_ready();
+  const uint64_t due = due_at(buf_[head_].ts_ns);
+  const uint64_t now = mono_ns();
+  return due > now ? due - now : 0;
+}
+
+}  // namespace newton::ingest

@@ -1,0 +1,65 @@
+// ReplaySource: replay-at-rate pacing wrapper around any Source.
+//
+// Maps the inner stream's capture timestamps onto the wall clock: packet i
+// with capture offset dt (vs. the first packet) is due at
+// wall_start + dt / rate.  pull() releases only packets that are due,
+// returning 0 (with ns_until_ready() > 0) while the head packet is still in
+// the future — the pump sleeps the gap instead of spinning.
+//
+// rate <= 0 means "infinite": no pacing at all, the wrapper is a
+// byte-identical passthrough of the inner source (the equivalence tests pin
+// this).  Lateness of each released packet vs. its schedule (pacing jitter)
+// accumulates in SourceStats and, when a registry is given, in the
+// newton_ingest_pacing_lag_us histogram.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ingest/source.h"
+#include "telemetry/telemetry.h"
+
+namespace newton::ingest {
+
+struct ReplayOptions {
+  double rate = 1.0;  // capture-time speedup; <= 0 replays unpaced
+  // Registry for the pacing-lag histogram; nullptr = stats-only.
+  telemetry::Registry* registry = nullptr;
+};
+
+class ReplaySource : public Source {
+ public:
+  // Non-owning: `inner` must outlive the wrapper.
+  ReplaySource(Source& inner, ReplayOptions opts = {});
+
+  std::size_t pull(Packet* out, std::size_t max) override;
+  bool done() const override;
+  uint64_t ns_until_ready() const override;
+  std::string name() const override { return inner_->name(); }
+  // The inner source's parse/skip/byte accounting with this wrapper's
+  // pacing fields overlaid, so one read gives the whole per-source picture.
+  const SourceStats& stats() const override;
+
+ private:
+  // Capture offset -> scheduled wall-clock release time.
+  uint64_t due_at(uint64_t ts_ns) const;
+  void refill();
+
+  Source* inner_;
+  ReplayOptions opts_;
+  bool paced_;
+  telemetry::Histogram* lag_us_ = nullptr;
+
+  // Pulled-ahead packets not yet due, released in order.  Sized once; the
+  // steady-state path recycles it without reallocation.
+  std::vector<Packet> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+
+  bool started_ = false;
+  uint64_t wall_start_ns_ = 0;
+  uint64_t capture_start_ns_ = 0;
+  mutable SourceStats merged_;
+};
+
+}  // namespace newton::ingest

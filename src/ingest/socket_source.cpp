@@ -1,0 +1,141 @@
+#include "ingest/socket_source.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+
+#include "packet/wire.h"
+
+namespace newton::ingest {
+namespace {
+
+constexpr std::size_t kMaxDatagram = 1 << 16;
+
+uint64_t realtime_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("socket_source: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+SocketSource::SocketSource(SocketOptions opts) : opts_(std::move(opts)) {
+  frame_.resize(kMaxDatagram);  // fixed datagram buffer, sized once
+  next_seq_ts_ = opts_.sequence_start_ns;
+
+  const bool unix_sock = !opts_.unix_path.empty();
+  fd_ = ::socket(unix_sock ? AF_UNIX : AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) fail("socket");
+
+  if (opts_.rcvbuf_bytes > 0)
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &opts_.rcvbuf_bytes,
+                 sizeof(opts_.rcvbuf_bytes));
+  // Kernel-side drop counter delivered as a cmsg on every datagram; best
+  // effort (old kernels without it simply report dropped = 0).
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof(one));
+
+  if (unix_sock) {
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (opts_.unix_path.size() >= sizeof(sa.sun_path))
+      throw std::runtime_error("socket_source: unix path too long");
+    std::strncpy(sa.sun_path, opts_.unix_path.c_str(), sizeof(sa.sun_path) - 1);
+    ::unlink(opts_.unix_path.c_str());
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+      fail("bind " + opts_.unix_path);
+    address_ = opts_.unix_path;
+  } else {
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = htons(opts_.udp_port);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+      fail("bind udp:" + std::to_string(opts_.udp_port));
+    socklen_t len = sizeof(sa);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0)
+      fail("getsockname");
+    address_ = "udp:" + std::to_string(ntohs(sa.sin_port));
+  }
+}
+
+SocketSource::~SocketSource() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+}
+
+std::string SocketSource::name() const { return address_; }
+
+std::size_t SocketSource::pull(Packet* out, std::size_t max) {
+  if (eof_) return 0;
+  std::size_t n = 0;
+  while (n < max) {
+    iovec iov{frame_.data(), frame_.size()};
+    alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(uint32_t))];
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+
+    const ssize_t r = ::recvmsg(fd_, &msg, 0);
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      fail("recvmsg");
+    }
+    // SO_RXQ_OVFL: cumulative kernel drop count at this datagram.
+    for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr;
+         c = CMSG_NXTHDR(&msg, c)) {
+      if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SO_RXQ_OVFL) {
+        uint32_t total = 0;
+        std::memcpy(&total, CMSG_DATA(c), sizeof(total));
+        if (total > drops_seen_) {
+          stats_.dropped += total - drops_seen_;
+          drops_seen_ = total;
+        }
+      }
+    }
+    if (r == 0) {  // end-of-stream sentinel
+      eof_ = true;
+      break;
+    }
+    ++stats_.frames;
+    const std::size_t len = static_cast<std::size_t>(r);
+    const auto parsed = parse_frame(frame_.data(), len);
+    if (!parsed) {
+      switch (classify_frame(frame_.data(), len)) {
+        case FrameKind::Vlan: ++stats_.skipped_vlan; break;
+        case FrameKind::Ipv6: ++stats_.skipped_ipv6; break;
+        default: ++stats_.skipped_other; break;
+      }
+      continue;
+    }
+    out[n] = parsed->packet;
+    if (opts_.timestamp == SocketOptions::Timestamp::kSequence) {
+      out[n].ts_ns = next_seq_ts_;
+      next_seq_ts_ += opts_.sequence_step_ns;
+    } else {
+      out[n].ts_ns = realtime_ns();
+    }
+    stats_.bytes += out[n].wire_len;
+    ++stats_.packets;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace newton::ingest

@@ -1,0 +1,66 @@
+// SocketSource: live Ethernet frames over a datagram socket — one frame per
+// datagram, parsed by the wire codec (packet/wire.h).
+//
+// Two bindings:
+//   * AF_UNIX datagram at a filesystem path (tests, local feeders);
+//   * UDP on 127.0.0.1:<port> (remote feeders, tcpreplay-style tools).
+//
+// The socket is non-blocking: pull() drains whatever the kernel has queued
+// and returns 0 (done()==false) when empty.  A zero-length datagram is the
+// end-of-stream sentinel (there is no in-band FIN on datagram sockets).
+// Kernel receive-queue overflow is surfaced via SO_RXQ_OVFL into
+// SourceStats::dropped — the live path's drop accounting.
+//
+// Timestamping: datagram frames carry no capture clock, so arrivals are
+// stamped either with CLOCK_REALTIME (live operation) or with a synthetic
+// fixed-step sequence (deterministic tests / benches).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ingest/source.h"
+
+namespace newton::ingest {
+
+struct SocketOptions {
+  // Exactly one of the two bindings: a unix path, or a UDP port.
+  std::string unix_path;
+  uint16_t udp_port = 0;
+
+  enum class Timestamp : uint8_t { kReceive, kSequence };
+  Timestamp timestamp = Timestamp::kReceive;
+  uint64_t sequence_start_ns = 0;      // kSequence: first packet's stamp
+  uint64_t sequence_step_ns = 10'000;  // kSequence: per-packet increment
+
+  int rcvbuf_bytes = 1 << 20;  // SO_RCVBUF request (0 = kernel default)
+};
+
+class SocketSource : public Source {
+ public:
+  // Binds immediately; throws std::runtime_error on socket/bind failure.
+  explicit SocketSource(SocketOptions opts);
+  ~SocketSource() override;
+
+  SocketSource(const SocketSource&) = delete;
+  SocketSource& operator=(const SocketSource&) = delete;
+
+  std::size_t pull(Packet* out, std::size_t max) override;
+  bool done() const override { return eof_; }
+  std::string name() const override;
+
+  // The bound address (unix path, or "udp:<port>" with the kernel-assigned
+  // port when opts.udp_port was 0) — feeders connect here.
+  const std::string& address() const { return address_; }
+
+ private:
+  SocketOptions opts_;
+  int fd_ = -1;
+  bool eof_ = false;
+  std::string address_;
+  std::vector<uint8_t> frame_;   // reusable datagram buffer
+  uint64_t next_seq_ts_ = 0;
+  uint64_t drops_seen_ = 0;      // last SO_RXQ_OVFL counter value
+};
+
+}  // namespace newton::ingest

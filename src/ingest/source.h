@@ -1,0 +1,72 @@
+// Live ingestion: the Source abstraction (ROADMAP item 3, modeled on
+// CoMo's sniffers/ layer).
+//
+// A Source is a pull-based packet stream decoupled from the in-memory
+// Trace: the consumer hands it a caller-owned buffer and the source fills
+// up to `max` parsed packets per call.  The contract is designed for the
+// sharded runtime's zero-allocation demux loop (docs/ingest.md):
+//
+//   * pull() never allocates in steady state — sources read/parse into
+//     buffers sized once at construction or first use;
+//   * pull() never blocks indefinitely: 0 with done()==false means "would
+//     block right now" (a live socket with nothing queued, a paced replay
+//     whose next packet is not yet due) and the caller decides how to wait;
+//     0 with done()==true means the stream is exhausted;
+//   * every source keeps SourceStats, the raw material of the per-source
+//     telemetry series the IngestPump exports (pump.h).
+//
+// Backends: TraceSource (in-memory traces / the synthetic generator),
+// PcapFileSource (streaming bounded-memory capture read), ReplaySource
+// (replay-at-rate pacing wrapper), SocketSource (UDP / AF_UNIX live
+// frames).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "packet/packet.h"
+
+namespace newton::ingest {
+
+struct SourceStats {
+  uint64_t frames = 0;         // raw frames seen (records / datagrams)
+  uint64_t packets = 0;        // parsed packets emitted
+  uint64_t bytes = 0;          // wire bytes of emitted packets
+  uint64_t skipped_vlan = 0;   // 802.1Q-tagged frames skipped
+  uint64_t skipped_ipv6 = 0;   // IPv6 frames skipped
+  uint64_t skipped_other = 0;  // other ethertypes / malformed frames
+  uint64_t dropped = 0;        // lost before parse (kernel queue overflow)
+  // Pacing accounting (ReplaySource): how far behind schedule packets were
+  // actually released.  Zero for unpaced sources.
+  uint64_t paced_packets = 0;
+  uint64_t pacing_lag_ns_total = 0;
+  uint64_t pacing_lag_ns_max = 0;
+
+  uint64_t skipped() const {
+    return skipped_vlan + skipped_ipv6 + skipped_other;
+  }
+};
+
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  // Fill `out[0..max)` with up to `max` packets; returns the count written.
+  virtual std::size_t pull(Packet* out, std::size_t max) = 0;
+
+  // True once the stream can never yield another packet.
+  virtual bool done() const = 0;
+
+  // Live sources only: a hint how long until pull() could yield again, in
+  // nanoseconds (0 = retry immediately).  Paced sources report the time to
+  // the next scheduled packet so the pump can sleep instead of spin.
+  virtual uint64_t ns_until_ready() const { return 0; }
+
+  virtual const SourceStats& stats() const { return stats_; }
+  virtual std::string name() const = 0;
+
+ protected:
+  SourceStats stats_;
+};
+
+}  // namespace newton::ingest

@@ -1,0 +1,47 @@
+// TraceSource: streams an in-memory Trace (e.g. the synthetic generator's
+// output) through the Source interface, so every consumer of live inputs
+// also accepts the repo's existing workloads unchanged.
+#pragma once
+
+#include <cstring>
+#include <utility>
+
+#include "ingest/source.h"
+#include "trace/trace_gen.h"
+
+namespace newton::ingest {
+
+class TraceSource : public Source {
+ public:
+  // Non-owning: `t` must outlive the source.
+  explicit TraceSource(const Trace& t) : trace_(&t) {}
+  // Owning (e.g. a freshly generated trace).
+  explicit TraceSource(Trace&& t)
+      : owned_(std::move(t)), trace_(&owned_) {}
+
+  std::size_t pull(Packet* out, std::size_t max) override {
+    const auto& pkts = trace_->packets;
+    std::size_t n = 0;
+    while (n < max && pos_ < pkts.size()) {
+      out[n] = pkts[pos_];
+      stats_.bytes += out[n].wire_len;
+      ++n;
+      ++pos_;
+    }
+    stats_.frames += n;
+    stats_.packets += n;
+    return n;
+  }
+
+  bool done() const override { return pos_ >= trace_->packets.size(); }
+  std::string name() const override {
+    return trace_->name.empty() ? "trace" : trace_->name;
+  }
+
+ private:
+  Trace owned_;
+  const Trace* trace_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace newton::ingest

@@ -21,17 +21,57 @@ void put32(std::vector<uint8_t>& b, std::size_t at, uint32_t v) {
         static_cast<uint8_t>(v >> (24 - 8 * i));
 }
 
-uint16_t get16(const std::vector<uint8_t>& b, std::size_t at) {
+uint16_t get16(const uint8_t* b, std::size_t at) {
   return static_cast<uint16_t>((uint16_t{b[at]} << 8) | b[at + 1]);
 }
 
-uint32_t get32(const std::vector<uint8_t>& b, std::size_t at) {
+uint32_t get32(const uint8_t* b, std::size_t at) {
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v = (v << 8) | b[at + static_cast<std::size_t>(i)];
   return v;
 }
 
 }  // namespace
+
+FrameKind classify_frame(const uint8_t* data, std::size_t len) {
+  if (len < kEthBytes) return FrameKind::Other;
+  const uint16_t ethertype =
+      static_cast<uint16_t>((uint16_t{data[12]} << 8) | data[13]);
+  switch (ethertype) {
+    case kEtherTypeVlan: return FrameKind::Vlan;
+    case kEtherTypeIpv6: return FrameKind::Ipv6;
+    case kEtherTypeSp: return FrameKind::Sp;
+    case kEtherTypeIpv4: return FrameKind::Ipv4;
+    default: return FrameKind::Other;
+  }
+}
+
+std::vector<uint8_t> wrap_vlan(const std::vector<uint8_t>& frame,
+                               uint16_t vlan_id) {
+  std::vector<uint8_t> out;
+  out.reserve(frame.size() + 4);
+  const std::size_t macs = std::min<std::size_t>(frame.size(), 12);
+  out.insert(out.end(), frame.begin(),
+             frame.begin() + static_cast<long>(macs));
+  out.push_back(static_cast<uint8_t>(kEtherTypeVlan >> 8));
+  out.push_back(static_cast<uint8_t>(kEtherTypeVlan));
+  out.push_back(static_cast<uint8_t>((vlan_id >> 8) & 0x0f));  // PCP/DEI 0
+  out.push_back(static_cast<uint8_t>(vlan_id));
+  out.insert(out.end(), frame.begin() + static_cast<long>(macs), frame.end());
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> strip_vlan(
+    const std::vector<uint8_t>& frame) {
+  if (frame.size() < kEthBytes + 4 ||
+      classify_frame(frame.data(), frame.size()) != FrameKind::Vlan)
+    return std::nullopt;
+  std::vector<uint8_t> out;
+  out.reserve(frame.size() - 4);
+  out.insert(out.end(), frame.begin(), frame.begin() + 12);
+  out.insert(out.end(), frame.begin() + 16, frame.end());
+  return out;
+}
 
 uint16_t ipv4_checksum(const uint8_t* data, std::size_t len) {
   uint32_t sum = 0;
@@ -92,26 +132,27 @@ std::vector<uint8_t> deparse_frame(const Packet& pkt,
   return b;
 }
 
-std::optional<ParsedFrame> parse_frame(const std::vector<uint8_t>& frame) {
-  if (frame.size() < kEthBytes + kIpv4Bytes) return std::nullopt;
+std::optional<ParsedFrame> parse_frame(const uint8_t* frame,
+                                       std::size_t size) {
+  if (size < kEthBytes + kIpv4Bytes) return std::nullopt;
   const uint16_t ethertype = get16(frame, 12);
   std::size_t at = kEthBytes;
 
   ParsedFrame out;
   if (ethertype == kEtherTypeSp) {
-    if (frame.size() < at + kSpHeaderBytes + kIpv4Bytes) return std::nullopt;
-    out.sp = sp_decode(frame.data() + at, kSpHeaderBytes);
+    if (size < at + kSpHeaderBytes + kIpv4Bytes) return std::nullopt;
+    out.sp = sp_decode(frame + at, kSpHeaderBytes);
     at += kSpHeaderBytes;
   } else if (ethertype != kEtherTypeIpv4) {
     return std::nullopt;
   }
 
   // IPv4.
-  if (frame.size() < at + kIpv4Bytes) return std::nullopt;
+  if (size < at + kIpv4Bytes) return std::nullopt;
   if ((frame[at] >> 4) != 4) return std::nullopt;
   const std::size_t ihl = (frame[at] & 0x0f) * 4u;
-  if (ihl < kIpv4Bytes || frame.size() < at + ihl) return std::nullopt;
-  if (ipv4_checksum(frame.data() + at, ihl) != 0) return std::nullopt;
+  if (ihl < kIpv4Bytes || size < at + ihl) return std::nullopt;
+  if (ipv4_checksum(frame + at, ihl) != 0) return std::nullopt;
 
   Packet& p = out.packet;
   const uint16_t ip_total = get16(frame, at + 2);
@@ -126,12 +167,12 @@ std::optional<ParsedFrame> parse_frame(const std::vector<uint8_t>& frame) {
   at += ihl;
 
   if (proto == kProtoTcp) {
-    if (frame.size() < at + kTcpBytes) return std::nullopt;
+    if (size < at + kTcpBytes) return std::nullopt;
     p.set(Field::SrcPort, get16(frame, at));
     p.set(Field::DstPort, get16(frame, at + 2));
     p.set(Field::TcpFlags, frame[at + 13]);
   } else if (proto == kProtoUdp) {
-    if (frame.size() < at + kUdpBytes) return std::nullopt;
+    if (size < at + kUdpBytes) return std::nullopt;
     p.set(Field::SrcPort, get16(frame, at));
     p.set(Field::DstPort, get16(frame, at + 2));
   }

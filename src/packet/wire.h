@@ -23,6 +23,15 @@ namespace newton {
 
 inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
 inline constexpr uint16_t kEtherTypeSp = 0x88B5;  // local-experimental space
+inline constexpr uint16_t kEtherTypeVlan = 0x8100;  // 802.1Q
+inline constexpr uint16_t kEtherTypeIpv6 = 0x86DD;
+
+// Coarse frame classification, used by the pcap reader and the live sources
+// to attribute skipped frames to a reason (802.1Q-tagged, IPv6, other).
+// Vlan wins over the inner type: a tagged IPv6 frame classifies as Vlan.
+enum class FrameKind : uint8_t { Ipv4, Sp, Vlan, Ipv6, Other };
+
+FrameKind classify_frame(const uint8_t* data, std::size_t len);
 
 struct ParsedFrame {
   Packet packet;
@@ -38,7 +47,21 @@ std::vector<uint8_t> deparse_frame(const Packet& pkt,
 // Parse a frame; returns nullopt for anything malformed (short buffers,
 // non-IPv4, bad IHL, bad IPv4 checksum, truncated transport header).
 // The packet's ts_ns is left 0 (timestamps are not on the wire).
-std::optional<ParsedFrame> parse_frame(const std::vector<uint8_t>& frame);
+std::optional<ParsedFrame> parse_frame(const uint8_t* data, std::size_t len);
+
+inline std::optional<ParsedFrame> parse_frame(
+    const std::vector<uint8_t>& frame) {
+  return parse_frame(frame.data(), frame.size());
+}
+
+// Insert / remove an 802.1Q tag (TPID 0x8100, the given 12-bit VLAN id,
+// priority 0) directly after the Ethernet source address.  strip_vlan
+// returns nullopt when the frame carries no tag; wrap_vlan(strip_vlan(f))
+// round-trips byte-identically.
+std::vector<uint8_t> wrap_vlan(const std::vector<uint8_t>& frame,
+                               uint16_t vlan_id);
+std::optional<std::vector<uint8_t>> strip_vlan(
+    const std::vector<uint8_t>& frame);
 
 // RFC 1071 checksum over a header.
 uint16_t ipv4_checksum(const uint8_t* data, std::size_t len);

@@ -21,20 +21,33 @@ namespace newton {
 
 struct ShardKey {
   std::vector<Field> fields;
+  // Optional per-field masks (parallel to `fields`; empty = exact values).
+  // Masked sharding is how prefix-keyed queries stay key-affine: sharding
+  // on sip/8 keeps every finer prefix (/16, /24) and every exact sip of
+  // that /8 on one shard — a coarsening of a query's key is always affine
+  // for it.
+  std::vector<uint32_t> masks;
 
   static ShardKey five_tuple() {
     return {{Field::SrcIp, Field::DstIp, Field::SrcPort, Field::DstPort,
-             Field::Proto}};
+             Field::Proto},
+            {}};
   }
-  static ShardKey on(std::vector<Field> f) { return {std::move(f)}; }
+  static ShardKey on(std::vector<Field> f) { return {std::move(f), {}}; }
+  static ShardKey on_masked(std::vector<Field> f, std::vector<uint32_t> m) {
+    return {std::move(f), std::move(m)};
+  }
+
+  friend bool operator==(const ShardKey&, const ShardKey&) = default;
 
   // FNV-1a over the selected field values (same scheme as FiveTupleHash).
   uint64_t hash(const Packet& p) const {
     uint64_t h = 0xcbf29ce484222325ull;
-    for (Field f : fields) {
-      const uint32_t v = p.get(f);
-      for (int i = 0; i < 4; ++i) {
-        h ^= (v >> (i * 8)) & 0xff;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      const uint32_t v =
+          p.get(fields[i]) & (i < masks.size() ? masks[i] : 0xffffffffu);
+      for (int b = 0; b < 4; ++b) {
+        h ^= (v >> (b * 8)) & 0xff;
         h *= 0x100000001b3ull;
       }
     }

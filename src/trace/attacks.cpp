@@ -134,4 +134,78 @@ InjectInfo inject_dns_no_tcp(Trace& trace, uint32_t host, uint32_t resolver,
   return info;
 }
 
+InjectInfo inject_volume_burst(Trace& trace, uint32_t victim, uint16_t dport,
+                               std::size_t num_packets, uint64_t start_ns,
+                               uint64_t duration_ns, std::mt19937& rng) {
+  InjectInfo info{victim, {}, 0};
+  const uint64_t gap =
+      num_packets > 1 ? duration_ns / (num_packets - 1) : duration_ns;
+  for (std::size_t s = 0; s < 4; ++s) info.attackers.push_back(spoofed_ip(rng));
+  uint64_t t = start_ns;
+  for (std::size_t i = 0; i < num_packets; ++i) {
+    trace.packets.push_back(make_packet(info.attackers[i % 4], victim,
+                                        rand_eph(rng), dport, kProtoUdp, 0,
+                                        64, t));
+    t += gap;
+    ++info.packets_injected;
+  }
+  return info;
+}
+
+InjectInfo inject_prefix_flood(Trace& trace, uint32_t prefix24,
+                               std::size_t num_sources,
+                               std::size_t pkts_per_source, uint32_t victim,
+                               uint16_t dport, uint32_t pkt_len,
+                               uint64_t start_ns, std::mt19937& rng) {
+  InjectInfo info{victim, {prefix24 & 0xffffff00u}, 0};
+  uint64_t t = start_ns;
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    const uint32_t src =
+        (prefix24 & 0xffffff00u) | static_cast<uint32_t>(1 + (s % 254));
+    for (std::size_t i = 0; i < pkts_per_source; ++i) {
+      trace.packets.push_back(make_packet(src, victim, rand_eph(rng), dport,
+                                          kProtoUdp, 0, pkt_len, t));
+      t += 3'000;
+      ++info.packets_injected;
+    }
+  }
+  return info;
+}
+
+LabeledAttackTrace make_labeled_attack_trace(uint32_t seed,
+                                             std::size_t background_flows) {
+  std::mt19937 rng(seed);
+  TraceProfile bg = caida_like(seed);
+  bg.name = "labeled_attacks";
+  bg.num_flows = background_flows;
+  bg.max_flow_pkts = 8;
+  bg.duration_sec = 0.5;
+  bg.num_hosts = 256;
+
+  LabeledAttackTrace out;
+  out.trace = generate_trace(bg);
+  // Attacks spread over distinct 100 ms windows, offset from the window
+  // boundaries so µs-rounded capture clocks cannot move packets across a
+  // boundary.  Victims live outside the background host pools.
+  const uint32_t v1 = ipv4(203, 0, 113, 10);
+  const uint32_t v2 = ipv4(203, 0, 113, 20);
+  const uint32_t v3 = ipv4(203, 0, 113, 30);
+  out.syn_flood =
+      inject_syn_flood(out.trace, v1, /*num_sources=*/6,
+                       /*syns_per_source=*/24, 20'000'000, rng);
+  out.port_scan = inject_port_scan(out.trace, ipv4(198, 18, 7, 7), v2,
+                                   /*num_ports=*/60, 120'000'000, rng);
+  out.spreader = inject_super_spreader(out.trace, ipv4(198, 18, 9, 9),
+                                       /*num_dsts=*/80, 220'000'000, rng);
+  out.volume_burst =
+      inject_volume_burst(out.trace, v3, /*dport=*/9999, /*num_packets=*/120,
+                          320'000'000, /*duration_ns=*/40'000'000, rng);
+  out.prefix_flood = inject_prefix_flood(
+      out.trace, ipv4(198, 51, 100, 0), /*num_sources=*/15,
+      /*pkts_per_source=*/8, v3, /*dport=*/8888, /*pkt_len=*/128,
+      420'000'000, rng);
+  out.trace.sort_by_time();
+  return out;
+}
+
 }  // namespace newton

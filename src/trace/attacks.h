@@ -61,4 +61,39 @@ InjectInfo inject_dns_no_tcp(Trace& trace, uint32_t host, uint32_t resolver,
                              std::size_t num_responses, uint64_t start_ns,
                              std::mt19937& rng);
 
+// Volume burst: a sudden spike of `num_packets` small UDP datagrams from a
+// handful of sources to victim:`dport`, compressed into `duration_ns` — the
+// step change the EWMA volume-anomaly detector keys on.
+InjectInfo inject_volume_burst(Trace& trace, uint32_t victim, uint16_t dport,
+                               std::size_t num_packets, uint64_t start_ns,
+                               uint64_t duration_ns, std::mt19937& rng);
+
+// Prefix flood: `num_sources` hosts drawn from one /24 (`prefix24` is the
+// network address) push `pkts_per_source` packets of `pkt_len` bytes at
+// `victim` — lights up the /8, /16 and /24 levels of the hierarchical
+// heavy-hitter detector at once.  attackers[0] holds the /24 base.
+InjectInfo inject_prefix_flood(Trace& trace, uint32_t prefix24,
+                               std::size_t num_sources,
+                               std::size_t pkts_per_source, uint32_t victim,
+                               uint16_t dport, uint32_t pkt_len,
+                               uint64_t start_ns, std::mt19937& rng);
+
+// One labeled attack trace: a small background profile with five attacks
+// layered on top, each label carrying the injector's ground-truth seed.
+// This is the corpus-fixture generator (tests/corpus/detectors.pcap) and
+// the profile behind `newton_tool replay` demos — every detector in
+// src/detectors/ has its scenario represented.  Deterministic per seed.
+struct LabeledAttackTrace {
+  Trace trace;
+  InjectInfo syn_flood;      // det_syn_flood victim
+  InjectInfo port_scan;      // det_port_scan scanner
+  InjectInfo spreader;       // det_superspreader source
+  InjectInfo volume_burst;   // det_ewma_volume victim
+  InjectInfo prefix_flood;   // det_prefix_hh /24 (attackers[0])
+};
+
+LabeledAttackTrace make_labeled_attack_trace(uint32_t seed,
+                                             std::size_t background_flows =
+                                                 120);
+
 }  // namespace newton

@@ -1,9 +1,7 @@
 #include "trace/pcap.h"
 
 #include <cstdint>
-#include <fstream>
 #include <stdexcept>
-#include <vector>
 
 #include "packet/wire.h"
 
@@ -25,26 +23,6 @@ uint16_t swap16(uint16_t v) {
   return static_cast<uint16_t>((v << 8) | (v >> 8));
 }
 
-struct Reader {
-  std::ifstream is;
-  bool swapped = false;
-
-  bool read_raw(void* dst, std::size_t n) {
-    is.read(static_cast<char*>(dst), static_cast<long>(n));
-    return static_cast<bool>(is);
-  }
-  bool u32(uint32_t& v) {
-    if (!read_raw(&v, 4)) return false;
-    if (swapped) v = swap32(v);
-    return true;
-  }
-  bool u16(uint16_t& v) {
-    if (!read_raw(&v, 2)) return false;
-    if (swapped) v = swap16(v);
-    return true;
-  }
-};
-
 void put32le(std::ofstream& os, uint32_t v) {
   char b[4];
   for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
@@ -58,60 +36,86 @@ void put16le(std::ofstream& os, uint16_t v) {
 
 }  // namespace
 
-Trace load_pcap(const std::string& path, PcapLoadStats* stats) {
-  Reader r;
-  r.is.open(path, std::ios::binary);
-  if (!r.is) throw std::runtime_error("pcap: cannot open " + path);
+PcapReader::PcapReader(const std::string& path) {
+  is_.open(path, std::ios::binary);
+  if (!is_) throw std::runtime_error("pcap: cannot open " + path);
 
   uint32_t magic;
-  if (!r.read_raw(&magic, 4)) throw std::runtime_error("pcap: empty file");
-  bool nsec;
+  if (!is_.read(reinterpret_cast<char*>(&magic), 4))
+    throw std::runtime_error("pcap: empty file");
   if (magic == kMagicUsec) {
-    nsec = false;
+    nsec_ = false;
   } else if (magic == kMagicNsec) {
-    nsec = true;
+    nsec_ = true;
   } else if (magic == kMagicUsecSwapped) {
-    nsec = false;
-    r.swapped = true;
+    nsec_ = false;
+    swapped_ = true;
   } else if (magic == kMagicNsecSwapped) {
-    nsec = true;
-    r.swapped = true;
+    nsec_ = true;
+    swapped_ = true;
   } else {
     throw std::runtime_error("pcap: bad magic");
   }
 
   uint16_t ver_major, ver_minor;
   uint32_t thiszone, sigfigs, snaplen, linktype;
-  if (!r.u16(ver_major) || !r.u16(ver_minor) || !r.u32(thiszone) ||
-      !r.u32(sigfigs) || !r.u32(snaplen) || !r.u32(linktype))
+  const auto u16 = [&](uint16_t& v) {
+    if (!is_.read(reinterpret_cast<char*>(&v), 2)) return false;
+    if (swapped_) v = swap16(v);
+    return true;
+  };
+  if (!u16(ver_major) || !u16(ver_minor) || !u32(thiszone) || !u32(sigfigs) ||
+      !u32(snaplen) || !u32(linktype))
     throw std::runtime_error("pcap: truncated global header");
   if (linktype != kLinkEthernet)
     throw std::runtime_error("pcap: unsupported linktype " +
                              std::to_string(linktype));
+  // Pre-size the record buffer so steady-state reads never reallocate
+  // (records are checked against the same cap below).
+  frame_.reserve(snaplen != 0 && snaplen < (1u << 24) ? snaplen : (1u << 16));
+}
 
+bool PcapReader::u32(uint32_t& v) {
+  if (!is_.read(reinterpret_cast<char*>(&v), 4)) return false;
+  if (swapped_) v = swap32(v);
+  return true;
+}
+
+bool PcapReader::next() {
+  uint32_t ts_sec, ts_frac, incl_len;
+  if (!u32(ts_sec)) return false;  // clean EOF
+  if (!u32(ts_frac) || !u32(incl_len) || !u32(orig_len_))
+    throw std::runtime_error("pcap: truncated record header");
+  if (incl_len > (1u << 24))
+    throw std::runtime_error("pcap: implausible record length");
+  frame_.resize(incl_len);
+  if (!is_.read(reinterpret_cast<char*>(frame_.data()), incl_len))
+    throw std::runtime_error("pcap: truncated record body");
+  ts_ns_ = uint64_t{ts_sec} * 1'000'000'000ull +
+           (nsec_ ? ts_frac : uint64_t{ts_frac} * 1'000ull);
+  return true;
+}
+
+Trace load_pcap(const std::string& path, PcapLoadStats* stats) {
+  PcapReader r(path);
   Trace t;
   t.name = path;
   PcapLoadStats st;
-  for (;;) {
-    uint32_t ts_sec, ts_frac, incl_len, orig_len;
-    if (!r.u32(ts_sec)) break;  // clean EOF
-    if (!r.u32(ts_frac) || !r.u32(incl_len) || !r.u32(orig_len))
-      throw std::runtime_error("pcap: truncated record header");
-    if (incl_len > (1u << 24))
-      throw std::runtime_error("pcap: implausible record length");
-    std::vector<uint8_t> frame(incl_len);
-    if (!r.read_raw(frame.data(), incl_len))
-      throw std::runtime_error("pcap: truncated record body");
+  while (r.next()) {
     ++st.frames;
-    const auto parsed = parse_frame(frame);
+    const auto parsed = parse_frame(r.frame());
     if (!parsed) {
       ++st.skipped;
+      switch (classify_frame(r.frame().data(), r.frame().size())) {
+        case FrameKind::Vlan: ++st.skipped_vlan; break;
+        case FrameKind::Ipv6: ++st.skipped_ipv6; break;
+        default: ++st.skipped_other; break;
+      }
       continue;
     }
     Packet p = parsed->packet;
-    p.ts_ns = uint64_t{ts_sec} * 1'000'000'000ull +
-              (nsec ? ts_frac : uint64_t{ts_frac} * 1'000ull);
-    p.wire_len = orig_len;
+    p.ts_ns = r.ts_ns();
+    p.wire_len = r.orig_len();
     t.packets.push_back(p);
     ++st.parsed;
   }

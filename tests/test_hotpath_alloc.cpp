@@ -16,11 +16,18 @@
 #include <new>
 #include <vector>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "core/controller.h"
 #include "core/newton_switch.h"
 #include "core/queries.h"
+#include "ingest/pcap_source.h"
+#include "ingest/replay_source.h"
+#include "ingest/trace_source.h"
 #include "runtime/spsc_ring.h"
 #include "runtime/worker.h"
+#include "trace/pcap.h"
 
 namespace {
 
@@ -188,6 +195,51 @@ TEST(HotPathAlloc, SteadyStateBurstLoopAllocatesNothing) {
         for (std::size_t i = 0; i < s->registers().size(); ++i)
           reg_sum += s->registers().read(i);
   EXPECT_GT(reg_sum, 0u);
+}
+
+// The ingest sources' pull contract (src/ingest/source.h): after a warm-up
+// burst sizes the reusable buffers, the steady-state pull loop performs no
+// heap allocation — for the in-memory source, the streaming pcap reader,
+// and the replay wrapper stacked on top of it.
+TEST(HotPathAlloc, IngestSourcePullLoopAllocatesNothing) {
+  ASSERT_GT(g_allocs.load(), 0u) << "interposer not linked in";
+
+  // --- setup (allocation is free here) --------------------------------
+  constexpr std::size_t kBurst = 64;
+  constexpr std::size_t kPackets = 4'096;
+  Trace t;
+  t.packets.reserve(kPackets);
+  for (std::size_t i = 0; i < kPackets; ++i)
+    t.packets.push_back(make_packet(
+        static_cast<uint32_t>(i % 251), 7, 1000 + static_cast<uint32_t>(i % 53),
+        80, kProtoUdp, 0, /*pkt_len=*/128, i * 1000));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "newton_alloc.pcap").string();
+  save_pcap(t, path);
+
+  ingest::PcapFileSource file_src(path);
+  ingest::TraceSource trace_src(t);
+  ingest::ReplaySource replay(trace_src, {.rate = 0.0});  // unpaced wrapper
+  std::vector<Packet> buf(kBurst);
+
+  // Warm-up: fault in lazily-sized buffers (pcap record buffer, replay
+  // pull-ahead ring).
+  std::size_t warmed = file_src.pull(buf.data(), kBurst);
+  warmed += replay.pull(buf.data(), kBurst);
+  ASSERT_GT(warmed, 0u);
+
+  // --- measured region ------------------------------------------------
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  uint64_t pulled = 0;
+  while (!file_src.done()) pulled += file_src.pull(buf.data(), kBurst);
+  while (!replay.done()) pulled += replay.pull(buf.data(), kBurst);
+  const uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  // --- end measured region --------------------------------------------
+
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations in the source pull loop";
+  EXPECT_EQ(pulled + warmed, 2 * kPackets);
+  std::remove(path.c_str());
 }
 
 }  // namespace

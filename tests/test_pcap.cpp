@@ -117,6 +117,100 @@ TEST(Pcap, SkipsNonIpv4Frames) {
   std::remove(path.c_str());
 }
 
+// Append one raw frame record (nanosecond timestamps, native order) to an
+// existing pcap file.
+void append_record(const std::string& path, const std::vector<uint8_t>& frame,
+                   uint64_t ts_ns = 0) {
+  std::ofstream os(path, std::ios::binary | std::ios::app);
+  auto le32 = [&](uint32_t v) {
+    char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    os.write(b, 4);
+  };
+  le32(static_cast<uint32_t>(ts_ns / 1'000'000'000));
+  le32(static_cast<uint32_t>(ts_ns % 1'000'000'000));
+  le32(static_cast<uint32_t>(frame.size()));
+  le32(static_cast<uint32_t>(frame.size()));
+  os.write(reinterpret_cast<const char*>(frame.data()),
+           static_cast<std::streamsize>(frame.size()));
+}
+
+TEST(Pcap, AttributesVlanAndIpv6SkipsDistinctly) {
+  const std::string path = tmp_path("newton_test_vlan6.pcap");
+  Trace t;
+  t.packets.push_back(make_packet(ipv4(10, 0, 0, 1), ipv4(10, 0, 0, 2), 1000,
+                                  80, kProtoTcp, kTcpSyn, 64));
+  save_pcap(t, path);
+
+  // One 802.1Q-tagged IPv4 frame, one IPv6-ethertype frame, one ARP frame.
+  append_record(path, wrap_vlan(deparse_frame(t.packets[0]), 42));
+  std::vector<uint8_t> v6(60, 0);
+  v6[12] = 0x86;
+  v6[13] = 0xDD;
+  append_record(path, v6);
+  std::vector<uint8_t> arp(60, 0);
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  append_record(path, arp);
+
+  PcapLoadStats st;
+  const Trace back = load_pcap(path, &st);
+  EXPECT_EQ(st.frames, 4u);
+  EXPECT_EQ(st.parsed, 1u);
+  EXPECT_EQ(st.skipped, 3u);
+  EXPECT_EQ(st.skipped_vlan, 1u);
+  EXPECT_EQ(st.skipped_ipv6, 1u);
+  EXPECT_EQ(st.skipped_other, 1u);
+  EXPECT_EQ(back.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, VlanWrapStripRoundTripsByteIdentically) {
+  const Packet p = make_packet(ipv4(192, 0, 2, 1), ipv4(198, 51, 100, 7), 1234,
+                               443, kProtoTcp, kTcpAck, 200);
+  const std::vector<uint8_t> frame = deparse_frame(p);
+  ASSERT_EQ(classify_frame(frame.data(), frame.size()), FrameKind::Ipv4);
+
+  const std::vector<uint8_t> tagged = wrap_vlan(frame, 0x123);
+  EXPECT_EQ(tagged.size(), frame.size() + 4);
+  EXPECT_EQ(classify_frame(tagged.data(), tagged.size()), FrameKind::Vlan);
+
+  const auto stripped = strip_vlan(tagged);
+  ASSERT_TRUE(stripped.has_value());
+  EXPECT_EQ(*stripped, frame);
+
+  // Untagged frames have nothing to strip.
+  EXPECT_FALSE(strip_vlan(frame).has_value());
+
+  // The inner packet survives the detour through the tag.
+  const auto parsed = parse_frame(*stripped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->packet.sip(), p.sip());
+  EXPECT_EQ(parsed->packet.dport(), p.dport());
+  EXPECT_EQ(parsed->packet.tcp_flags(), p.tcp_flags());
+}
+
+TEST(Pcap, StreamingReaderMatchesWholeFileLoad) {
+  const Trace t = small_trace();
+  const std::string path = tmp_path("newton_test_stream.pcap");
+  save_pcap(t, path);
+
+  PcapReader rd(path);
+  std::size_t n = 0;
+  while (rd.next()) {
+    ASSERT_LT(n, t.size());
+    EXPECT_EQ(rd.ts_ns(), t.packets[n].ts_ns);
+    EXPECT_EQ(rd.orig_len(), rd.frame().size());
+    const auto parsed = parse_frame(rd.frame());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->packet.sip(), t.packets[n].sip());
+    EXPECT_EQ(parsed->packet.dip(), t.packets[n].dip());
+    ++n;
+  }
+  EXPECT_EQ(n, t.size());
+  std::remove(path.c_str());
+}
+
 TEST(Pcap, RejectsCorruptContainers) {
   const std::string path = tmp_path("newton_test_bad.pcap");
   {
