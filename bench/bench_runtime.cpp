@@ -26,6 +26,10 @@
 //                                     to the --packets target)
 //                [--min-wall-speedup X]  exit 1 if the metrics-shard wall
 //                                     speedup over 1 shard lands below X
+//                [--min-jit-speedup X]  exit 1 if the single-shard model-pps
+//                                     gain of the compiled executors
+//                                     (src/compile/) over the interpreter
+//                                     lands below X
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +82,9 @@ Trace tile_to(Trace base, std::size_t target) {
 struct Sample {
   std::size_t shards = 0;
   std::size_t burst = 0;
+  bool jit = true;
+  uint64_t jit_packets = 0;
+  uint64_t jit_fused_packets = 0;
   uint64_t wall = 0;
   uint64_t demux_cpu = 0;
   uint64_t max_worker_cpu = 0;
@@ -92,7 +99,8 @@ struct Sample {
   double model_pps = 0.0;
 };
 
-Sample run_one(const Trace& t, std::size_t shards, std::size_t burst) {
+Sample run_one(const Trace& t, std::size_t shards, std::size_t burst,
+               bool jit = true) {
   // One run at a time in the global registry, so the exported metrics
   // block describes exactly the metrics-target run.
   telemetry::Registry::global().reset();
@@ -102,6 +110,7 @@ Sample run_one(const Trace& t, std::size_t shards, std::size_t burst) {
   o.queue_capacity = 8192;
   o.burst = burst;
   o.record_snapshots = false;  // measuring the data path, not the observer
+  o.jit = jit;
   ShardedRuntime rt(sw, o);
   QueryParams p;
   rt.install(make_q1(p));
@@ -118,12 +127,15 @@ Sample run_one(const Trace& t, std::size_t shards, std::size_t burst) {
   Sample s;
   s.shards = shards;
   s.burst = burst;
+  s.jit = jit;
   s.wall = w1 - w0;
   s.demux_cpu = c1 - c0;
   const RuntimeStats& st = rt.stats();
   for (const WorkerStats& ws : st.workers) {
     s.worker_cpu.push_back(ws.busy_ns);
     if (ws.busy_ns > s.max_worker_cpu) s.max_worker_cpu = ws.busy_ns;
+    s.jit_packets += ws.jit_packets;
+    s.jit_fused_packets += ws.jit_fused_packets;
   }
   s.stalls = st.backpressure_stalls;
   s.reports = st.reports;
@@ -152,6 +164,7 @@ int main(int argc, char** argv) {
   std::size_t packets_override = 0;
   std::string pcap_path;  // real-capture input instead of the generator
   double min_wall_speedup = 0.0;  // 0 = no gate
+  double min_jit_speedup = 0.0;   // 0 = no gate
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       metrics_shards = static_cast<std::size_t>(std::atol(argv[++i]));
@@ -173,10 +186,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--min-wall-speedup") == 0 &&
                i + 1 < argc) {
       min_wall_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-jit-speedup") == 0 &&
+               i + 1 < argc) {
+      min_jit_speedup = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: bench_runtime [--shards N] [--burst B1,B2,...] "
-                   "[--packets N] [--pcap FILE] [--min-wall-speedup X]\n");
+                   "[--packets N] [--pcap FILE] [--min-wall-speedup X] "
+                   "[--min-jit-speedup X]\n");
       return 2;
     }
   }
@@ -213,11 +230,11 @@ int main(int argc, char** argv) {
 
   const auto print_sample = [](const Sample& s) {
     std::printf(
-        "shards=%zu  burst=%3zu  wall=%7.1f ms  wall_pps=%9.0f  "
+        "shards=%zu  burst=%3zu  jit=%s  wall=%7.1f ms  wall_pps=%9.0f  "
         "model_pps=%9.0f  demux_cpu=%6.1f ms  max_worker_cpu=%6.1f ms  "
         "stalls=%llu\n",
-        s.shards, s.burst, s.wall / 1e6, s.wall_pps, s.model_pps,
-        s.demux_cpu / 1e6, s.max_worker_cpu / 1e6,
+        s.shards, s.burst, s.jit ? "on " : "off", s.wall / 1e6, s.wall_pps,
+        s.model_pps, s.demux_cpu / 1e6, s.max_worker_cpu / 1e6,
         static_cast<unsigned long long>(s.stalls));
   };
 
@@ -240,6 +257,11 @@ int main(int argc, char** argv) {
     print_sample(s);
     burst_samples.push_back(std::move(s));
   }
+  // Compiled-vs-interpreted executors (src/compile/): re-run the
+  // single-shard workload with the chain JIT off.  model_pps at n=1 is
+  // pure executor cost, so the ratio is the compiled-path speedup.
+  const Sample sji = run_one(t, 1, kDefaultBurst, /*jit=*/false);
+  print_sample(sji);
   bench::row_sep();
 
   const Sample& s1 = samples[0];
@@ -251,6 +273,12 @@ int main(int argc, char** argv) {
   const double speedup_wall = sN.wall_pps / s1.wall_pps;
   std::printf("%zu-shard speedup: model %.2fx, wall %.2fx\n", sN.shards,
               speedup_model, speedup_wall);
+  const double speedup_jit = s1.model_pps / sji.model_pps;
+  std::printf("1-shard jit speedup: model %.2fx (compiled %llu/%zu packets, "
+              "fused %llu)\n",
+              speedup_jit,
+              static_cast<unsigned long long>(s1.jit_packets), t.size(),
+              static_cast<unsigned long long>(s1.jit_fused_packets));
 
   FILE* f = std::fopen("BENCH_runtime.json", "w");
   if (f == nullptr) {
@@ -301,6 +329,18 @@ int main(int argc, char** argv) {
       write_sample(burst_samples[i], i + 1 == burst_samples.size());
     std::fprintf(f, "  ],\n");
   }
+  // Compiled-executor block: the jit-off leg re-runs n=1 with the same
+  // trace/burst, so model_pps ratio isolates the executor swap.
+  std::fprintf(f, "  \"jit\": {\n");
+  std::fprintf(f, "    \"enabled_default\": true,\n");
+  std::fprintf(f, "    \"model_pps_1shard\": %.0f,\n", s1.model_pps);
+  std::fprintf(f, "    \"model_pps_1shard_nojit\": %.0f,\n", sji.model_pps);
+  std::fprintf(f, "    \"speedup_model_1shard\": %.3f,\n", speedup_jit);
+  std::fprintf(f, "    \"jit_packets\": %llu,\n",
+               static_cast<unsigned long long>(s1.jit_packets));
+  std::fprintf(f, "    \"jit_fused_packets\": %llu\n",
+               static_cast<unsigned long long>(s1.jit_fused_packets));
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"speedup_model_%zushard\": %.3f,\n", sN.shards,
                speedup_model);
   std::fprintf(f, "  \"speedup_wall_%zushard\": %.3f,\n", sN.shards,
@@ -331,6 +371,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: %zu-shard wall speedup %.3f < required %.3f\n",
                  sN.shards, speedup_wall, min_wall_speedup);
+    return 1;
+  }
+  if (min_jit_speedup > 0.0 && speedup_jit < min_jit_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: 1-shard jit model speedup %.3f < required %.3f\n",
+                 speedup_jit, min_jit_speedup);
     return 1;
   }
   return 0;

@@ -1,0 +1,128 @@
+// Lowered intermediate representation of an installed query chain.
+//
+// The interpreter executes a query by walking all 64 pipeline stages and
+// letting every placed module table look its rule up per active query —
+// generic, but most of the per-packet work is dispatch: virtual
+// execute_burst over mostly-empty stages, an active-list loop plus a
+// config-table load per module, and re-reading rule parameters that never
+// change between installs.  The chain compiler flattens all of that out
+// once, at replica-load time: for each installed qid it collects the
+// module rules that qid owns, in exact interpreter visit order
+// ((stage, slot) major), and constant-folds every rule parameter into a
+// flat ChainOp.  Executing a chain is then a straight walk over a small op
+// array with no table lookups and no virtual calls (src/compile/executor.h).
+//
+// Every op also carries the address of its source module's rule-hit
+// counter (TableProgram::hits_cell), so a compiled run advances the exact
+// telemetry the interpreter would have.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/module_config.h"
+#include "core/report.h"
+#include "dataplane/register_array.h"
+#include "packet/fields.h"
+#include "sketch/hash.h"
+
+namespace newton {
+
+class Pipeline;
+
+namespace compile {
+
+// Lowered opcode.  H and S split by mode so the executors are branch-free
+// on the mode flags, and so the chain-shape signature distinguishes e.g. a
+// filter's direct/bypass suite from a sketch's hash/SALU suite.
+enum class OpKind : uint8_t { K, HHash, HDirect, SOp, SBypass, R };
+
+inline constexpr std::size_t kNumOpKinds = 6;
+
+// One lowered module rule.  POD with the rule parameters constant-folded;
+// non-owning pointers (register bank, report sink, hit cell) reference the
+// worker replica the op was lowered from and stay valid for its lifetime.
+struct ChainOp {
+  OpKind kind = OpKind::K;
+  uint8_t set = 0;          // which PHV metadata set the op reads/writes
+  uint16_t qid = 0;
+  // Interpreter visit order: (stage << 8) | slot.  The merge key when
+  // several chains execute over one run of packets.
+  uint32_t order = 0;
+  uint64_t* hits = nullptr;  // source module's rule-hit cell
+
+  // K
+  std::array<uint32_t, kNumFields> masks{};
+  // HHash / HDirect
+  HashAlgo algo = HashAlgo::Crc32;
+  uint32_t seed = 0;
+  uint32_t width = 1;
+  uint32_t offset = 0;
+  uint8_t direct_index = 0;
+  // SOp
+  RegisterArray* regs = nullptr;
+  SaluOp sop = SaluOp::Add;
+  bool operand_is_pkt_len = false;
+  uint32_t operand = 1;
+  uint32_t guard_lo = 0;
+  uint32_t guard_hi = 0xffffffffu;
+  uint32_t index_base = 0;
+  // R
+  RCombine combine = RCombine::None;
+  bool match_on_global = true;
+  uint32_t match_lo = 0;
+  uint32_t match_hi = 0xffffffffu;
+  RAction on_match = RAction::Continue;
+  RAction on_miss = RAction::Continue;
+  ReportSink* sink = nullptr;
+  uint32_t switch_id = 0;
+};
+
+// Chain-shape signature: the op-kind sequence packed 4 bits per op, first
+// op in the high nibble.  128 bits holds 32 ops — enough for every chain
+// the scheduler can place today (the widest evaluation chain, q3/q5's
+// two-phase distinct+reduce, lowers to 17 ops).
+using Signature = unsigned __int128;
+
+// A query's full lowered chain, ops in interpreter visit order.
+struct Chain {
+  uint16_t qid = 0;
+  Signature signature = 0;  // packed op-kind sequence; 0 = too long to pack
+  std::vector<ChainOp> ops;
+};
+
+// Keys the compile-time registry of fused shape executors (executor.cpp);
+// chains longer than 32 ops don't fit and fall back to the generic
+// compiled loop (signature 0).
+inline Signature signature_of(const std::vector<ChainOp>& ops) {
+  if (ops.empty() || ops.size() > 32) return 0;
+  Signature sig = 0;
+  for (const ChainOp& op : ops)
+    sig = (sig << 4) | (static_cast<Signature>(op.kind) + 1);
+  return sig;
+}
+
+// Compile-time companion for building registry entries from a kind pack.
+template <OpKind... Ks>
+constexpr Signature pack_signature() {
+  Signature sig = 0;
+  ((sig = (sig << 4) | (static_cast<Signature>(Ks) + 1)), ...);
+  return sig;
+}
+
+struct Lowering {
+  std::vector<Chain> chains;
+  // False when the pipeline holds a table the lowerer doesn't model (no
+  // such table type exists today; defensive for future pipeline tenants) —
+  // the whole replica then stays on the interpreter.
+  bool ok = true;
+};
+
+// Lower every installed chain of `pipe`.  Call with the replica quiesced
+// and (for R ops) after report sinks were rebound: the lowered ops capture
+// the sink pointers as constants.
+Lowering lower(Pipeline& pipe);
+
+}  // namespace compile
+}  // namespace newton

@@ -107,6 +107,8 @@ class RModule : public TableProgram {
   }
   ConfigTable<RConfig>& table() { return table_; }
   void set_sink(ReportSink* sink) { sink_ = sink; }
+  ReportSink* sink() const { return sink_; }
+  uint32_t switch_id() const { return switch_id_; }
 
  private:
   void act(Phv& phv, uint16_t qid, const RConfig& cfg, RAction a);

@@ -310,6 +310,15 @@ class ConfigTable {
     return qid < dense_.size() ? dense_[qid] : nullptr;
   }
 
+  // Visit every installed rule in qid order (the order the dense index
+  // walks).  Cold path: the chain compiler (src/compile/) lowers installed
+  // configs through this without reaching into the map.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t qid = 0; qid < dense_.size(); ++qid)
+      if (dense_[qid]) fn(static_cast<uint16_t>(qid), *dense_[qid]);
+  }
+
   std::size_t size() const { return rules_.size(); }
   std::size_t capacity() const { return capacity_; }
   uint64_t rule_ops() const { return rule_ops_; }

@@ -79,6 +79,11 @@ class Pipeline {
     for (Stage& s : stages_) s.execute_burst(phvs, n);
   }
 
+  // Account packets a compiled executor (src/compile/) ran on this
+  // pipeline's behalf, so newton_pipeline_*_packets_total advances
+  // identically whether a burst executed interpreted or compiled.
+  void note_compiled_packets(std::size_t n) { packets_seen_ += n; }
+
   // Publish packet/stage traversal counts and every table's rule hits into
   // the global registry (replicas of the same stage — sharded-runtime
   // workers, network switches — aggregate into the same per-stage series).

@@ -4,29 +4,6 @@
 
 namespace newton {
 
-uint32_t RegisterArray::execute(SaluOp op, std::size_t index,
-                                uint32_t operand) {
-  uint32_t& reg = regs_.at(index);
-  switch (op) {
-    case SaluOp::Read:
-      return reg;
-    case SaluOp::Write: {
-      const uint32_t old = reg;
-      reg = operand;
-      return old;
-    }
-    case SaluOp::Add:
-      reg += operand;
-      return reg;
-    case SaluOp::Or: {
-      const uint32_t old = reg;
-      reg |= operand;
-      return old;
-    }
-  }
-  return 0;
-}
-
 void RegisterArray::reset() { std::fill(regs_.begin(), regs_.end(), 0); }
 
 void RegisterArray::clear_range(std::size_t offset, std::size_t width) {

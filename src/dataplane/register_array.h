@@ -37,8 +37,30 @@ class RegisterArray {
 
   // Execute `op` on register `index` with `operand`; returns the value the
   // SALU forwards (see semantics above).  Out-of-range indices are a
-  // programming error in the compiler and throw.
-  uint32_t execute(SaluOp op, std::size_t index, uint32_t operand);
+  // programming error in the compiler and throw.  Inline: this is the
+  // per-packet innermost call of both the interpreter's S module and the
+  // compiled executors.
+  uint32_t execute(SaluOp op, std::size_t index, uint32_t operand) {
+    uint32_t& reg = regs_.at(index);
+    switch (op) {
+      case SaluOp::Read:
+        return reg;
+      case SaluOp::Write: {
+        const uint32_t old = reg;
+        reg = operand;
+        return old;
+      }
+      case SaluOp::Add:
+        reg += operand;
+        return reg;
+      case SaluOp::Or: {
+        const uint32_t old = reg;
+        reg |= operand;
+        return old;
+      }
+    }
+    return 0;
+  }
 
   uint32_t read(std::size_t index) const { return regs_.at(index); }
   void reset();  // epoch rollover: zero all registers

@@ -52,6 +52,12 @@ class TableProgram {
   // replica never re-publishes work its original already counted.
   void reset_telemetry() { hits_ = hits_published_ = 0; }
 
+  // Address of the plain rule-hit counter.  The chain compiler
+  // (src/compile/) hands this cell to the lowered executor so a compiled
+  // run bumps exactly the counts the interpreter would have — telemetry is
+  // identical either way.  Same single-writer contract as execute().
+  uint64_t* hits_cell() { return &hits_; }
+
  protected:
   uint64_t hits_ = 0;            // rule lookups that matched, this instance
   uint64_t hits_published_ = 0;  // high-water mark of published hits

@@ -122,9 +122,10 @@ ExecResult run_single(const Scenario& s, const Trace& t, int opt) {
 
 // Sharded runtime; mid-stream ops are handed to the runtime at their packet
 // index and apply at its next window barrier — the same boundary the other
-// executors use.
+// executors use.  `jit` = false forces the interpreter (the
+// compiled-vs-interpreted cross-check axis).
 ExecResult run_runtime(const Scenario& s, const Trace& t,
-                       std::size_t nshards) {
+                       std::size_t nshards, bool jit = true) {
   Analyzer an;
   NewtonSwitch primary(1, kSingleStages, nullptr, bank_size(s));
   primary.set_window_ns(s.window_ns());
@@ -132,6 +133,7 @@ ExecResult run_runtime(const Scenario& s, const Trace& t,
   ro.num_shards = nshards;
   ro.burst = s.burst;
   ro.record_snapshots = true;
+  ro.jit = jit;
   const auto key = affine_shard_key(s.queries);
   ro.shard_key = key ? *key : ShardKey::five_tuple();
   ShardedRuntime rt(primary, ro, &an);
@@ -457,6 +459,16 @@ CheckOutcome check_scenario(const Scenario& s) {
   const ExecResult rt1 = run_runtime(s, t, 1);
   diff_exact(rt1, o0, "rt1-vs-o0", std::nullopt, o.divergences);
   o.axes.push_back({"rt1-vs-o0", true, ""});
+
+  // Compiled-vs-interpreted: rt1 above ran with the chain JIT on (the
+  // runtime default), so re-running it with the JIT forced off pins the
+  // compiled executors against the interpreter — reports AND merged
+  // end-of-window state must agree byte-for-byte.  (With NEWTON_NO_JIT in
+  // the environment both runs interpret and the axis is vacuous.)
+  const ExecResult rti = run_runtime(s, t, 1, /*jit=*/false);
+  diff_exact(rti, rt1, "jit-vs-rt1", std::nullopt, o.divergences);
+  diff_state(rti, rt1, "jit-vs-rt1", o.divergences);
+  o.axes.push_back({"jit-vs-rt1", true, ""});
 
   if (s.shards > 1) {
     bool any_distinct = false;

@@ -1,14 +1,18 @@
-// Differential execution harness: runs one Scenario through up to six
+// Differential execution harness: runs one Scenario through up to eight
 // executions and cross-checks their per-window report keysets
 // (docs/difftest.md):
 //
 //   ref    exact reference interpreter (plain maps/sets)   [tolerant]
 //   o0     single switch, no optimizations                 [baseline]
 //   oL     single switch, scenario's optimization level    [exact vs o0]
-//   rt1    sharded runtime, 1 shard                        [exact vs o0]
+//   rt1    sharded runtime, 1 shard, chain JIT on          [exact vs o0]
+//   jit    sharded runtime, 1 shard, chain JIT OFF         [exact vs rt1]
 //   rtN    sharded runtime, N shards                       [exact vs rt1]
 //   cqe    multi-switch line, CQE-sliced query 0           [exact vs o0]
 //   fault  fat-tree + link-failure plan, query 0           [exact vs o0]
+//
+// The jit axis pins the compiled per-query executors (src/compile/,
+// docs/compile.md) against the interpreter on reports and merged state.
 //
 // Pipeline-vs-pipeline axes share the exact sketch collision pattern (hash
 // seeds depend only on the chain structure), so they must agree exactly.

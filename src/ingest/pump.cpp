@@ -83,10 +83,15 @@ PumpStats IngestPump::run(Source& src) {
       ++ps.would_block;
       m_block.add();
       // Wait exactly as long as the source says (paced replays), capped so
-      // a coarse estimate cannot stall the pump.
+      // a coarse estimate cannot stall the pump.  The bound applies to BOTH
+      // arms: a zero hint ("retry whenever") waits the full bound, and any
+      // non-zero hint — however far in the future the source schedules its
+      // next packet — is clamped to it, so the pump re-polls (and honors
+      // done()/max_packets) within max_wait_us no matter what the source
+      // reports.
+      const uint64_t bound = opts_.max_wait_us * 1'000;
       const uint64_t hint = src.ns_until_ready();
-      sleep_ns(std::min<uint64_t>(hint ? hint : opts_.max_wait_us * 1'000,
-                                  opts_.max_wait_us * 1'000));
+      sleep_ns(hint == 0 ? bound : std::min(hint, bound));
       continue;
     }
     ++ps.batches;

@@ -82,6 +82,13 @@ bool ReplaySource::done() const {
 }
 
 uint64_t ReplaySource::ns_until_ready() const {
+  // EOF guard for the final burst: once the buffer is drained AND the
+  // inner source is done, this source can never become ready again —
+  // report "ready now" so a caller that polls readiness before done()
+  // can't be parked on a stale inner hint.  (The buffer cannot hide
+  // undelivered due packets behind this check: refill() only runs once
+  // head_ >= size_, so head_ >= size_ always means truly empty.)
+  if (done()) return 0;
   if (!paced_ || !started_ || head_ >= size_) return inner_->ns_until_ready();
   const uint64_t due = due_at(buf_[head_].ts_ns);
   const uint64_t now = mono_ns();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -39,10 +40,16 @@ ShardedRuntime::ShardedRuntime(NewtonSwitch& primary, RuntimeOptions opts,
           "install()/withdraw(), which quiesce at the next window barrier");
   });
   if (opts_.burst == 0) opts_.burst = 1;
+  // The environment escape hatch wins over the option: one variable
+  // bisects a suspected compiled-executor miscompare back to the
+  // interpreter without touching any call site.
+  if (std::getenv("NEWTON_NO_JIT") != nullptr) opts_.jit = false;
   workers_.reserve(opts_.num_shards);
-  for (std::size_t i = 0; i < opts_.num_shards; ++i)
+  for (std::size_t i = 0; i < opts_.num_shards; ++i) {
     workers_.push_back(std::make_unique<ShardWorker>(i, opts_.queue_capacity,
                                                      opts_.burst));
+    workers_.back()->set_jit(opts_.jit);
+  }
   staging_.resize(opts_.num_shards);
   for (auto& s : staging_) s.reserve(opts_.burst);
   stats_.workers.resize(opts_.num_shards);
@@ -90,6 +97,14 @@ void ShardedRuntime::bind_telemetry() {
   metrics_.live_shards = &reg.gauge(
       "newton_runtime_live_shards", "Shard workers still processing packets");
   metrics_.live_shards->set(static_cast<int64_t>(live_count_));
+  metrics_.jit_packets =
+      &reg.counter("newton_runtime_jit_packets_total",
+                   "Packets executed by compiled chain executors "
+                   "(src/compile/) instead of the interpreter");
+  metrics_.jit_fused_packets =
+      &reg.counter("newton_runtime_jit_fused_packets_total",
+                   "Compiled-path packets that ran a fused chain-shape "
+                   "executor (the rest took the generic compiled loop)");
   metrics_.shard_packets.resize(workers_.size());
   metrics_.shard_occupancy.resize(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -118,9 +133,14 @@ void ShardedRuntime::flush_telemetry() {
   metrics_.abandoned->add(stats_.abandoned_packets -
                           flushed_.abandoned_packets);
   metrics_.live_shards->set(static_cast<int64_t>(live_count_));
-  for (std::size_t i = 0; i < workers_.size(); ++i)
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
     metrics_.shard_packets[i]->add(stats_.workers[i].packets -
                                    flushed_.workers[i].packets);
+    metrics_.jit_packets->add(stats_.workers[i].jit_packets -
+                              flushed_.workers[i].jit_packets);
+    metrics_.jit_fused_packets->add(stats_.workers[i].jit_fused_packets -
+                                    flushed_.workers[i].jit_fused_packets);
+  }
   flushed_ = stats_;
 }
 
@@ -282,8 +302,19 @@ void ShardedRuntime::failover(std::size_t wi) {
   // re-zero the moved keys' state mid-window.
   std::size_t succ = wi;
   while (true) {
+    // Successor scan: the next LIVE worker after `succ` in ring order.
+    // Several workers may already be down (failovers cascade, and a fence
+    // failure below re-enters this scan), so every dead index must be
+    // skipped — and the scan is bounded by one full lap, so a bookkeeping
+    // bug (live_count_ > 0 with nothing alive) fails loudly instead of
+    // spinning forever.
+    std::size_t steps = 0;
     do {
       succ = (succ + 1) % workers_.size();
+      if (++steps > workers_.size())
+        throw std::logic_error(
+            "ShardedRuntime::failover: no live successor found despite "
+            "live_count_ > 0");
     } while (!alive_[succ]);
     if (!salvage) break;
     // Quiesce the successor so its replica is safely writable from here.
@@ -499,6 +530,31 @@ void ShardedRuntime::reload_replicas() {
     if (alive_[i])
       workers_[i]->load_replica(primary_.pipeline(), primary_.init_table());
   replicas_dirty_ = false;
+  publish_jit_coverage();
+}
+
+std::vector<compile::QueryCoverage> ShardedRuntime::jit_coverage() const {
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    if (alive_[i]) return workers_[i]->jit().coverage();
+  return {};
+}
+
+void ShardedRuntime::publish_jit_coverage() {
+  if (!opts_.jit) return;
+  telemetry::Registry& reg =
+      opts_.registry ? *opts_.registry : telemetry::Registry::global();
+  for (const compile::QueryCoverage& c : jit_coverage()) {
+    const auto it = qid_owner_.find(c.qid);
+    const telemetry::Labels labels{
+        {"query", it == qid_owner_.end() ? "?" : it->second.first},
+        {"branch",
+         std::to_string(it == qid_owner_.end() ? 0 : it->second.second)}};
+    reg.gauge("newton_jit_query_compiled",
+              "1 = the query branch's chain runs a compiled executor "
+              "(2 = fused shape), 0 = interpreter fallback",
+              labels)
+        .set(c.compiled ? (c.fused ? 2 : 1) : 0);
+  }
 }
 
 }  // namespace newton

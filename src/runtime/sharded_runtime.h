@@ -65,6 +65,11 @@ struct RuntimeOptions {
   // shard range fails over.  0 disables the deadline (death is then only
   // detected via a closed ring).
   uint64_t watchdog_stall_ms = 2000;
+  // Lower installed chains into compiled per-query executors in every
+  // worker (src/compile/, docs/compile.md); the interpreter remains the
+  // fallback for uncovered shapes.  Forced off by the NEWTON_NO_JIT
+  // environment variable (checked once at construction).
+  bool jit = true;
 };
 
 // Aggregated per-run totals, derived from the same values the telemetry
@@ -136,6 +141,14 @@ class ShardedRuntime {
   std::size_t num_shards() const { return workers_.size(); }
   std::size_t live_shards() const { return live_count_; }
 
+  // Whether chain compilation is on for this runtime (RuntimeOptions::jit
+  // minus the NEWTON_NO_JIT override).
+  bool jit_enabled() const { return opts_.jit; }
+  // Per-query compiled/interpreted coverage of the current replicas, read
+  // from the first live worker (all workers load identical replicas).
+  // Valid between start()/barriers; empty when jit is off.
+  std::vector<compile::QueryCoverage> jit_coverage() const;
+
   // Fault-injection seams: make shard `i` crash (close its ring and exit
   // without acking — detected at the demux's next push to it) or hang
   // (stop consuming with a frozen heartbeat — detected by the watchdog
@@ -148,6 +161,9 @@ class ShardedRuntime {
   void drain_and_merge();   // reports -> sinks, banks -> primary, snapshot
   void apply_mutations();   // queued installs/withdrawals, under quiesce
   void reload_replicas();   // re-clone primary pipeline into every worker
+  // Mirror per-query compiled/interpreted coverage into the registry's
+  // newton_jit_query_compiled gauge (cold path: after replica reloads).
+  void publish_jit_coverage();
   void deliver(const ReportRecord& r);
   void bind_telemetry();    // resolve metric handles against the registry
   void flush_telemetry();   // mirror counters batched at each barrier
@@ -205,6 +221,8 @@ class ShardedRuntime {
     telemetry::Counter* redistributed = nullptr;
     telemetry::Counter* abandoned = nullptr;
     telemetry::Gauge* live_shards = nullptr;
+    telemetry::Counter* jit_packets = nullptr;        // compiled-path packets
+    telemetry::Counter* jit_fused_packets = nullptr;  // fused-shape subset
     std::vector<telemetry::Counter*> shard_packets;
     std::vector<telemetry::Gauge*> shard_occupancy;  // ring depth at barrier
   };

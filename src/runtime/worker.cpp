@@ -59,6 +59,9 @@ void ShardWorker::load_replica(const Pipeline& pipe, const InitModule& init) {
       }
     }
   }
+  // Lower the freshly-loaded chains AFTER the sink rebinding above: the
+  // compiled R ops capture the sink pointers as constants.
+  jit_.build(pipeline_, burst_, jit_on_);
 }
 
 void ShardWorker::start() {
@@ -122,7 +125,34 @@ void ShardWorker::process_batch(const WorkItem* items, std::size_t n) {
     phv.pkt = items[i].pkt;
   }
   init_->execute_burst(phvs_.data(), n);
-  pipeline_.process_burst(phvs_.data(), n);
+  if (!jit_.enabled()) {
+    pipeline_.process_burst(phvs_.data(), n);
+    stats_.packets += n;
+    return;
+  }
+  // Partition the burst into maximal runs the compiled executors can take
+  // whole — every active query compiled AND the same active set across the
+  // run (the merged op program is computed once per run) — and hand the
+  // rest to the interpreter.  Run boundaries preserve burst order, so
+  // per-register op order (hence all results) stays byte-identical to a
+  // pure interpreter burst.
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    if (jit_.covers(phvs_[i])) {
+      while (j < n && jit_.covers(phvs_[j]) &&
+             phvs_[j].active == phvs_[i].active)
+        ++j;
+      const bool fused = jit_.execute_run(phvs_.data() + i, j - i);
+      pipeline_.note_compiled_packets(j - i);
+      stats_.jit_packets += j - i;
+      if (fused) stats_.jit_fused_packets += j - i;
+    } else {
+      while (j < n && !jit_.covers(phvs_[j])) ++j;
+      pipeline_.process_burst(phvs_.data() + i, j - i);
+    }
+    i = j;
+  }
   stats_.packets += n;
 }
 

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "compile/executor.h"
 #include "core/modules.h"
 #include "core/report.h"
 #include "dataplane/pipeline.h"
@@ -30,6 +31,11 @@ struct WorkerStats {
   uint64_t packets = 0;   // packets this worker executed
   uint64_t reports = 0;   // reports it emitted (drained at barriers)
   uint64_t busy_ns = 0;   // thread CPU time consumed so far
+  // Of `packets`, how many ran through compiled chain executors
+  // (src/compile/) rather than the interpreter, and of those how many took
+  // a fused shape (the rest took the generic compiled op loop).
+  uint64_t jit_packets = 0;
+  uint64_t jit_fused_packets = 0;
 };
 
 // One demux->worker queue item: a packet, a window fence, a stop token, or
@@ -56,10 +62,20 @@ class ShardWorker {
   ShardWorker(const ShardWorker&) = delete;
   ShardWorker& operator=(const ShardWorker&) = delete;
 
-  // Replace the replica with a fresh deep clone of `pipe` + `init` and bind
-  // the cloned R modules to this worker's private report buffer.  Demux
-  // thread only; worker must be quiesced (not yet started, or fenced).
+  // Replace the replica with a fresh deep clone of `pipe` + `init`, bind
+  // the cloned R modules to this worker's private report buffer, and lower
+  // the installed chains into compiled executors (unless jit was turned
+  // off).  Demux thread only; worker must be quiesced (not yet started, or
+  // fenced).
   void load_replica(const Pipeline& pipe, const InitModule& init);
+
+  // Enable/disable chain compilation for subsequent replica loads
+  // (RuntimeOptions::jit / NEWTON_NO_JIT).  Defaults to on.
+  void set_jit(bool on) { jit_on_ = on; }
+
+  // Compiled-chain coverage of the current replica (demux thread, worker
+  // quiesced) — feeds the runtime's per-query compiled/interpreted gauge.
+  const compile::CompiledPipeline& jit() const { return jit_; }
 
   void start();  // spawn the thread (idempotent)
   void join();   // wait for the thread after a Stop token
@@ -110,6 +126,8 @@ class ShardWorker {
   std::size_t burst_;
   SpscRing<WorkItem> ring_;
   Pipeline pipeline_{0};
+  compile::CompiledPipeline jit_;
+  bool jit_on_ = true;
   std::shared_ptr<InitModule> init_;
   std::vector<SModule*> s_by_stage_;  // typed views into the replica
   std::vector<RModule*> r_mods_;

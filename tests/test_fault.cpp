@@ -696,6 +696,47 @@ TEST(Watchdog, TwoCrashesFailOverSequentially) {
     EXPECT_EQ(ref.an->detected(q.name), out.an->detected(q.name));
 }
 
+TEST(Watchdog, SuccessorSelectionSkipsAlreadyDeadWorker) {
+  // Kill shard 2 first, then shard 1.  Shard 1's ring-order successor is
+  // the already-dead shard 2, so the scan must skip it and land on shard 3
+  // — a successor choice that never appears in the other watchdog tests
+  // (their dead workers are never ring-adjacent).  A scan that stops at
+  // the first candidate would merge state into a corpse and drop its
+  // backlog; byte-completeness against the single-switch run proves the
+  // second failover landed on a live worker.
+  const Trace t = shard_trace(500, 31);
+  const std::vector<Query> queries = shard_queries();
+  const RunResult ref = run_direct(t, queries);
+  ASSERT_GT(ref.records.size(), 0u);
+
+  RunResult out;
+  out.an = std::make_unique<Analyzer>();
+  ReportBuffer buf;
+  NewtonSwitch sw(1, 24, nullptr);
+  RuntimeOptions o;
+  o.num_shards = 4;
+  o.shard_key = ShardKey::on({Field::DstIp});
+  o.record_snapshots = false;
+  ShardedRuntime rt(sw, o, out.an.get());
+  rt.set_report_sink(&buf);
+  for (const Query& q : queries) rt.install(q);
+  rt.start();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == t.size() / 4) rt.kill_shard_for_test(2);
+    if (i == t.size() / 2) rt.kill_shard_for_test(1);
+    rt.process(t.packets[i]);
+  }
+  rt.finish();
+
+  EXPECT_EQ(rt.stats().worker_failovers, 2u);
+  EXPECT_EQ(rt.live_shards(), 2u);
+  EXPECT_EQ(rt.stats().abandoned_packets, 0u);
+  EXPECT_EQ(rt.stats().packets_in, t.size());
+  expect_same_records(ref.records, sorted(buf.records()));
+  for (const Query& q : queries)
+    EXPECT_EQ(ref.an->detected(q.name), out.an->detected(q.name));
+}
+
 TEST(Watchdog, StalledShardIsDetectedAndAbandoned) {
   const Trace t = shard_trace(300, 36);
   const std::vector<Query> queries = shard_queries();

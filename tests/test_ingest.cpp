@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -288,6 +289,129 @@ TEST(IngestPump, ExportsPerSourceTelemetry) {
   EXPECT_EQ(value_of("newton_ingest_frames_total"),
             static_cast<double>(t.size()));
   EXPECT_EQ(value_of("newton_ingest_dropped_total"), 0.0);
+}
+
+// A live source that would-blocks a few rounds while advertising an
+// absurdly distant readiness estimate before releasing its packets.
+// Regression rig for the pump's sleep clamp: the sleep must be bounded by
+// max_wait_us on BOTH arms of the hint handling, or this source parks the
+// pump for an hour.
+class HugeHintSource : public ingest::Source {
+ public:
+  HugeHintSource(std::vector<Packet> pkts, int blocks)
+      : pkts_(std::move(pkts)), blocks_left_(blocks) {}
+
+  std::size_t pull(Packet* out, std::size_t max) override {
+    if (blocks_left_ > 0) {
+      --blocks_left_;
+      return 0;
+    }
+    std::size_t n = 0;
+    while (n < max && next_ < pkts_.size()) {
+      out[n] = pkts_[next_++];
+      ++stats_.frames;
+      ++stats_.packets;
+      stats_.bytes += out[n].wire_len;
+      ++n;
+    }
+    return n;
+  }
+  bool done() const override {
+    return blocks_left_ <= 0 && next_ >= pkts_.size();
+  }
+  uint64_t ns_until_ready() const override {
+    return 3'600'000'000'000ull;  // "ready in an hour"
+  }
+  std::string name() const override { return "huge_hint"; }
+
+ private:
+  std::vector<Packet> pkts_;
+  std::size_t next_ = 0;
+  int blocks_left_;
+};
+
+TEST(IngestPump, WouldBlockSleepIsClampedByMaxWait) {
+  Trace t = attack_trace(13);
+  t.packets.resize(std::min<std::size_t>(t.packets.size(), 500));
+  HugeHintSource src(t.packets, /*blocks=*/3);
+
+  Analyzer an;
+  NewtonSwitch sw(1, 24, nullptr);
+  ShardedRuntime rt(sw, {}, &an);
+  ingest::PumpOptions po;
+  po.max_wait_us = 200;  // responsiveness bound: 0.2 ms per wait round
+  ingest::IngestPump pump(rt, po);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ingest::PumpStats ps = pump.run(src);
+  rt.finish();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(ps.packets, t.packets.size());
+  EXPECT_GE(ps.would_block, 3u);
+  // Three bounded waits are microseconds; an unclamped hint would be
+  // hours.  Generous margin for loaded CI hosts.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+// An inner source whose readiness estimate stays bogus-huge even at EOF.
+// ReplaySource must not forward that hint once the stream is done: the
+// final burst has to drain and done() has to surface without the pump
+// being parked on a dead source.
+class BogusEofHintSource : public ingest::Source {
+ public:
+  explicit BogusEofHintSource(std::vector<Packet> pkts)
+      : pkts_(std::move(pkts)) {}
+
+  std::size_t pull(Packet* out, std::size_t max) override {
+    std::size_t n = 0;
+    while (n < max && next_ < pkts_.size()) {
+      out[n] = pkts_[next_++];
+      ++stats_.frames;
+      ++stats_.packets;
+      stats_.bytes += out[n].wire_len;
+      ++n;
+    }
+    return n;
+  }
+  bool done() const override { return next_ >= pkts_.size(); }
+  uint64_t ns_until_ready() const override { return 3'600'000'000'000ull; }
+  std::string name() const override { return "bogus_eof"; }
+
+ private:
+  std::vector<Packet> pkts_;
+  std::size_t next_ = 0;
+};
+
+TEST(ReplaySource, DrainsToEofUnderPacingWithBogusInnerHints) {
+  Trace t = attack_trace(17);
+  t.packets.resize(std::min<std::size_t>(t.packets.size(), 400));
+  BogusEofHintSource inner(t.packets);
+  ingest::ReplayOptions ro;
+  ro.rate = 1000.0;  // compress the capture schedule ~1000x
+  ingest::ReplaySource src(inner, ro);
+
+  Analyzer an;
+  NewtonSwitch sw(1, 24, nullptr);
+  ShardedRuntime rt(sw, {}, &an);
+  ingest::PumpOptions po;
+  po.max_wait_us = 200;
+  ingest::IngestPump pump(rt, po);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ingest::PumpStats ps = pump.run(src);
+  rt.finish();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  // Every buffered packet of the final burst must come out before done():
+  // the paced buffer can never report ready-never while it still holds
+  // undelivered packets.
+  EXPECT_EQ(ps.packets, t.packets.size());
+  EXPECT_TRUE(src.done());
+  // After EOF the handshake must say "ready now", not echo the inner
+  // source's stale hour-long estimate.
+  EXPECT_EQ(src.ns_until_ready(), 0u);
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
 }
 
 }  // namespace
