@@ -5,6 +5,9 @@
 //   newton_tool csv <in.ntrc> <out.csv>                      convert
 //   newton_tool pcap <in.{ntrc,csv}> <out.pcap>              export a capture
 //   newton_tool queries                                      list Q1-Q9
+//   newton_tool queries --installed [qN[@tenant] ...]        install through
+//     the runtime and print the operator view: tenant, per-stage resource
+//     usage and JIT coverage state per installed query
 //   newton_tool compile <q1..q9>                             show the schedule
 //   newton_tool run <q1..q9> <trace.{ntrc,csv}>              execute + report
 //   newton_tool p4 [stages]                                  emit the layout P4
@@ -83,7 +86,7 @@ int usage() {
                "usage: newton_tool gen <caida|mawi> <out.ntrc> [flows] [seed]\n"
                "       newton_tool info <trace.{ntrc,csv}>\n"
                "       newton_tool csv <in.ntrc> <out.csv>\n"
-               "       newton_tool queries\n"
+               "       newton_tool queries [--installed [qN[@tenant] ...]]\n"
                "       newton_tool compile <q1..q9>\n"
                "       newton_tool run <q1..q9> <trace.{ntrc,csv}>\n"
                "       newton_tool p4 [stages]\n"
@@ -94,7 +97,7 @@ int usage() {
                "                          [--shards N] [--detectors a,b|all]\n"
                "       newton_tool fuzz [--runs N] [--seconds S] [--seed S]\n"
                "                        [--corpus DIR] [--out DIR]\n"
-               "                        [--replay FILE] [--no-minimize] [-v]\n"
+               "                        [--replay FILE] [--churn] [--no-minimize] [-v]\n"
                "       (append --metrics to dump telemetry after any "
                "command)\n");
   return 2;
@@ -136,9 +139,88 @@ int cmd_csv(int argc, char** argv) {
   return 0;
 }
 
-int cmd_queries() {
-  for (std::size_t i = 1; i <= 9; ++i)
-    std::printf("q%zu  %s\n", i, query_description(i).c_str());
+// Bare `queries` lists the Q1-Q9 library.  `queries --installed [qN[@tenant]
+// ...]` installs the named queries (default: all nine) through the sharded
+// runtime and prints the operator view of the installed set: tenant, qids,
+// per-stage resource usage (core/admission.h demand vectors) and each
+// branch's JIT coverage state (fused / compiled / interp) from the same
+// coverage the newton_jit_query_compiled gauge exports.
+int cmd_queries(int argc, char** argv) {
+  if (argc < 3) {
+    for (std::size_t i = 1; i <= 9; ++i)
+      std::printf("q%zu  %s\n", i, query_description(i).c_str());
+    return 0;
+  }
+  if (std::strcmp(argv[2], "--installed") != 0) return usage();
+
+  std::vector<std::pair<int, std::string>> specs;  // (library index, tenant)
+  for (int i = 3; i < argc; ++i) {
+    std::string a = argv[i];
+    std::string tenant = kDefaultTenant;
+    const auto at = a.find('@');
+    if (at != std::string::npos) {
+      tenant = a.substr(at + 1);
+      a = a.substr(0, at);
+    }
+    const int qi = query_index(a);
+    if (qi < 0 || tenant.empty()) return usage();
+    specs.emplace_back(qi, tenant);
+  }
+  if (specs.empty())
+    for (int i = 0; i < 9; ++i) specs.emplace_back(i, kDefaultTenant);
+
+  Analyzer an;
+  NewtonSwitch sw(1, 64, &an, 1 << 18);
+  RuntimeOptions ro;
+  ro.num_shards = 1;
+  ShardedRuntime rt(sw, ro, &an);
+  for (const auto& [qi, tenant] : specs) {
+    const Query q = all_queries()[static_cast<std::size_t>(qi)];
+    try {
+      rt.install(q, {}, tenant);
+    } catch (const Controller::AdmissionError& e) {
+      std::printf("%-18s %-10s REJECTED %s\n", q.name.c_str(),
+                  tenant.c_str(), e.decision().to_string().c_str());
+    }
+  }
+  rt.start();  // clones replicas and lowers the installed chains
+
+  std::map<uint16_t, compile::QueryCoverage> cov;
+  for (const compile::QueryCoverage& c : rt.jit_coverage()) cov[c.qid] = c;
+  const auto jit_state = [&](const std::vector<uint16_t>& qids) {
+    bool all_fused = !qids.empty(), any_compiled = false;
+    for (uint16_t qid : qids) {
+      const auto it = cov.find(qid);
+      const bool compiled = it != cov.end() && it->second.compiled;
+      const bool fused = it != cov.end() && it->second.fused;
+      any_compiled |= compiled;
+      all_fused &= fused;
+    }
+    return all_fused ? "fused" : any_compiled ? "compiled" : "interp";
+  };
+
+  std::printf("%-18s %-10s %-8s %-6s %-6s %-6s %s\n", "query", "tenant",
+              "jit", "rules", "regs", "init", "qids");
+  for (const Controller::QueryInfo& info : rt.controller().list_queries()) {
+    std::string qids;
+    for (uint16_t q : info.qids)
+      qids += (qids.empty() ? "" : ",") + std::to_string(q);
+    std::printf("%-18s %-10s %-8s %-6zu %-6zu %-6zu [%s]\n",
+                info.name.c_str(), info.tenant.c_str(),
+                jit_state(info.qids), info.demand->total_rules,
+                info.demand->total_registers, info.demand->init_entries,
+                qids.c_str());
+    for (const auto& [stage, sd] : info.demand->stages)
+      std::printf("    stage %-2zu  K=%zu H=%zu S=%zu R=%zu  regs=%zu\n",
+                  stage, sd.k_rules, sd.h_rules, sd.s_rules, sd.r_rules,
+                  sd.registers());
+  }
+  const auto frag = rt.controller().fragmentation();
+  std::printf("switch: %zu installs, %zu free registers "
+              "(largest block %zu, stranded %zu)\n",
+              sw.num_installs(), frag.free_registers,
+              frag.largest_free_block, frag.stranded_registers);
+  rt.finish();
   return 0;
 }
 
@@ -408,6 +490,8 @@ int cmd_fuzz(int argc, char** argv) {
       fo.corpus_dir = v;
     } else if (a == "--out" && (v = next())) {
       fo.out_dir = v;
+    } else if (a == "--churn") {
+      fo.force_churn = true;
     } else if (a == "--no-minimize") {
       fo.minimize = false;
     } else if (a == "--verbose" || a == "-v") {
@@ -481,7 +565,7 @@ int run_command(int argc, char** argv) {
       std::printf("exported %s -> %s\n", argv[2], argv[3]);
       return 0;
     }
-    if (cmd == "queries") return cmd_queries();
+    if (cmd == "queries") return cmd_queries(argc, argv);
     if (cmd == "compile") return cmd_compile(argc, argv);
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "query") return cmd_query(argc, argv);

@@ -142,6 +142,7 @@ class InitModule : public TableProgram {
     return std::make_shared<InitModule>(*this);
   }
   TernaryTable<Action>& table() { return table_; }
+  const TernaryTable<Action>& table() const { return table_; }
 
   // The dispatch key in fixed inline storage (no per-packet vector).
   using Key = std::array<uint32_t, 7>;

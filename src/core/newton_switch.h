@@ -113,6 +113,18 @@ class NewtonSwitch {
   RegisterArray& bank(std::size_t stage) {
     return inst_.s[stage]->registers();
   }
+  // Admission-control introspection (src/core/admission.h): remaining qid
+  // space and the per-stage register allocator (read-only — admission
+  // simulates first-fit on a copy).
+  std::size_t free_qids() const {
+    std::size_t n = 0;
+    for (const bool used : qid_used_) n += !used;
+    return n;
+  }
+  const RangeAllocator& bank_allocator(std::size_t stage) const {
+    return bank_alloc_.at(stage);
+  }
+  std::size_t num_installs() const { return installs_.size(); }
 
  private:
   struct SliceRt {

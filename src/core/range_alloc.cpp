@@ -33,6 +33,17 @@ bool RangeAllocator::free(std::size_t offset) {
   return allocs_.erase(offset) > 0;
 }
 
+std::size_t RangeAllocator::largest_free_block() const {
+  std::size_t best = 0;
+  std::size_t cursor = 0;
+  for (const auto& [off, w] : allocs_) {
+    if (off > cursor) best = std::max(best, off - cursor);
+    cursor = std::max(cursor, off + w);
+  }
+  if (capacity_ > cursor) best = std::max(best, capacity_ - cursor);
+  return best;
+}
+
 std::size_t RangeAllocator::used() const {
   std::size_t u = 0;
   for (const auto& [off, w] : allocs_) u += w;

@@ -29,6 +29,25 @@ class RangeAllocator {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t used() const;
+  std::size_t free_total() const { return capacity_ - used(); }
+
+  // Width of the widest contiguous free hole.  Churny install/withdraw
+  // sequences fragment the bank: free_total() may be large while no single
+  // hole fits a query's slice — the gap the fragmentation gauges (and the
+  // compactor, docs/admission.md) watch.
+  std::size_t largest_free_block() const;
+
+  // Widest allocation a first-fit allocate() would satisfy right now —
+  // identical to largest_free_block(); spelled separately so call sites
+  // read as an admission predicate.
+  bool fits(std::size_t width) const {
+    return width > 0 && width <= largest_free_block();
+  }
+
+  std::size_t num_allocs() const { return allocs_.size(); }
+  const std::map<std::size_t, std::size_t>& allocations() const {
+    return allocs_;
+  }
 
  private:
   std::size_t capacity_;

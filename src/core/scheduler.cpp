@@ -79,6 +79,7 @@ SchedulePlan schedule_queries(const std::vector<ScheduleRequest>& requests,
   for (const auto& [g, h] : group_height)
     plan.stages_used = std::max(plan.stages_used, h);
   if (plan.stages_used > profile.stages) {
+    plan.reject_code = AdmitCode::kStageOverflow;
     plan.reason = "pipeline height " + std::to_string(plan.stages_used) +
                   " exceeds " + std::to_string(profile.stages) +
                   " stages (consider CQE across switches)";
@@ -97,6 +98,7 @@ SchedulePlan schedule_queries(const std::vector<ScheduleRequest>& requests,
   }
   for (const auto& [key, cnt] : table_rules) {
     if (cnt > profile.rules_per_module) {
+      plan.reject_code = AdmitCode::kRuleTableFull;
       plan.reason = "module table at stage " + std::to_string(key.first) +
                     " needs " + std::to_string(cnt) + " rules (capacity " +
                     std::to_string(profile.rules_per_module) + ")";
@@ -104,6 +106,7 @@ SchedulePlan schedule_queries(const std::vector<ScheduleRequest>& requests,
     }
   }
   if (total_init > profile.rules_per_module) {
+    plan.reject_code = AdmitCode::kInitTableFull;
     plan.reason = "newton_init needs " + std::to_string(total_init) +
                   " entries (capacity " +
                   std::to_string(profile.rules_per_module) + ")";
@@ -141,6 +144,7 @@ SchedulePlan schedule_queries(const std::vector<ScheduleRequest>& requests,
       }
     }
     if (victim == n) {
+      plan.reject_code = AdmitCode::kRegisterOverflow;
       plan.reason = "state banks exhausted even at the minimum width floor";
       return plan;
     }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/compose.h"
 #include "core/controller.h"
 #include "core/query.h"
@@ -54,7 +55,11 @@ struct ScheduledQuery {
 
 struct SchedulePlan {
   bool feasible = false;
-  std::string reason;       // set when infeasible
+  std::string reason;       // human-readable; set when infeasible
+  // Machine-readable counterpart of `reason`, using the admission
+  // vocabulary (core/admission.h) so tooling can switch on why a batch
+  // did not fit instead of parsing the string.  kOk when feasible.
+  AdmitCode reject_code = AdmitCode::kOk;
   std::vector<ScheduledQuery> entries;
   std::size_t stages_used = 0;
   // Peak per-stage register demand of the plan (<= bank_registers).

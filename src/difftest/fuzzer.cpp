@@ -112,6 +112,10 @@ FuzzStats run_fuzzer(const FuzzOptions& opt) {
       s = mutate_scenario(corpus[rng() % corpus.size()], rng);
       s.id = scenario_seed;
     }
+    if (opt.force_churn && s.churn_ops == 0) {
+      s.churn_ops = 6 + scenario_seed % 11;
+      s.churn_seed = static_cast<uint32_t>(1 + scenario_seed % 1'000'000);
+    }
 
     CheckOutcome out;
     bool threw = false;

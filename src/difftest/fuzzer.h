@@ -29,6 +29,11 @@ struct FuzzOptions {
   bool minimize = true;       // minimize failures before writing them
   bool verbose = false;       // per-run progress lines
   std::size_t max_failures = 5;  // stop early after this many divergences
+  // Force the control-plane churn axis on every scenario the campaign runs
+  // (`newton_tool fuzz --churn`): scenarios generated or mutated without
+  // churn get a plan derived from their own id.  The CI churn job uses this
+  // to guarantee every run exercises admission/rollback invariants.
+  bool force_churn = false;
 };
 
 struct FuzzStats {

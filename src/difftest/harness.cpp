@@ -1,6 +1,9 @@
 #include "difftest/harness.h"
 
+#include <algorithm>
+#include <array>
 #include <optional>
+#include <random>
 #include <sstream>
 
 #include "analyzer/analyzer.h"
@@ -91,6 +94,13 @@ ExecResult run_single(const Scenario& s, const Trace& t, int opt) {
   NewtonSwitch sw(1, kSingleStages, &an, bank_size(s));
   sw.set_window_ns(s.window_ns());
   Controller ctl(sw);
+  // Auto-compaction moves reassign qids; keep the analyzer's qid->query
+  // mapping current (same contract the sharded runtime installs).
+  ctl.set_rebind_hook(
+      [&an](const std::string& name, const std::vector<uint16_t>& qids) {
+        for (std::size_t bi = 0; bi < qids.size(); ++bi)
+          an.register_qid_any(qids[bi], name, bi);
+      });
   const std::vector<ResolvedOp> ops = resolve_ops(s);
   std::size_t next = 0;
   const auto apply_due = [&](uint64_t upto) {
@@ -120,12 +130,69 @@ ExecResult run_single(const Scenario& s, const Trace& t, int opt) {
   return collect(an, s, max_window(t, wns), std::nullopt);
 }
 
+// ---------------------------------------------------------------------------
+// Control-plane churn plan (the churn axis; docs/admission.md)
+// ---------------------------------------------------------------------------
+
+// One derived churn event: either a transient install+withdraw pair of a
+// small admissible query, or a provably inadmissible install whose register
+// demand exceeds any harness bank (always rejected, whatever else is
+// installed).
+struct ChurnEvent {
+  uint64_t at_packet = 0;
+  bool doomed = false;
+  std::size_t idx = 0;
+};
+
+std::vector<ChurnEvent> make_churn_plan(const Scenario& s,
+                                        std::size_t npackets) {
+  std::vector<ChurnEvent> plan;
+  if (npackets < 4 || s.churn_ops == 0) return plan;
+  std::mt19937_64 rng(uint64_t{s.churn_seed} * 0x9e3779b97f4a7c15ull + 3);
+  for (std::size_t i = 0; i < s.churn_ops; ++i) {
+    ChurnEvent ev;
+    ev.at_packet = 1 + rng() % (npackets - 2);
+    ev.doomed = rng() % 3 == 0;
+    ev.idx = i;
+    plan.push_back(ev);
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at_packet < b.at_packet;
+                   });
+  return plan;
+}
+
+// The churn queries: disjoint dport filters (no report overlap with the
+// scenario queries), a when-threshold no trace can reach (so even a
+// mistakenly active churn query emits nothing), and for doomed events a
+// sketch width larger than the whole state bank.
+Query churn_query(const Scenario& s, const ChurnEvent& ev) {
+  QueryBuilder b("c" + std::to_string(ev.idx));
+  b.sketch(2, ev.doomed ? (std::size_t{1} << 21) : 2048);
+  b.filter(Predicate{}.where(Field::DstPort, Cmp::Eq,
+                             40000 + static_cast<uint32_t>(ev.idx % 1024)))
+      .map({Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, 1'000'000'000u);
+  Query q = b.build();
+  q.window_ns = s.window_ns();
+  q.row_partitions = 1;
+  return q;
+}
+
 // Sharded runtime; mid-stream ops are handed to the runtime at their packet
 // index and apply at its next window barrier — the same boundary the other
 // executors use.  `jit` = false forces the interpreter (the
-// compiled-vs-interpreted cross-check axis).
+// compiled-vs-interpreted cross-check axis).  `churn` interleaves derived
+// install(+withdraw) churn events mid-stream: admissible ones are queued as
+// install-then-withdraw pairs inside one barrier batch (never active while
+// packets flow), doomed ones are rejected at the barrier and recorded —
+// `rejected_out` reports the runtime's final rejection count.
 ExecResult run_runtime(const Scenario& s, const Trace& t,
-                       std::size_t nshards, bool jit = true) {
+                       std::size_t nshards, bool jit = true,
+                       const std::vector<ChurnEvent>* churn = nullptr,
+                       std::size_t* rejected_out = nullptr) {
   Analyzer an;
   NewtonSwitch primary(1, kSingleStages, nullptr, bank_size(s));
   primary.set_window_ns(s.window_ns());
@@ -148,12 +215,24 @@ ExecResult run_runtime(const Scenario& s, const Trace& t,
   for (; next < ops.size() && ops[next].at_packet == 0; ++next)
     apply(ops[next]);
   rt.start();
+  std::size_t cnext = 0;
   for (std::size_t i = 0; i < t.packets.size(); ++i) {
     for (; next < ops.size() && ops[next].at_packet <= i; ++next)
       apply(ops[next]);
+    if (churn) {
+      for (; cnext < churn->size() && (*churn)[cnext].at_packet <= i;
+           ++cnext) {
+        const ChurnEvent& ev = (*churn)[cnext];
+        const Query cq = churn_query(s, ev);
+        rt.install(cq, level(s.opt_level), "churn");
+        rt.withdraw(cq.name);  // same batch: applied back-to-back at the
+                               // barrier, or a no-op if the install rejects
+      }
+    }
     rt.process(t.packets[i]);
   }
   rt.finish();
+  if (rejected_out) *rejected_out = rt.stats().installs_rejected;
   primary.flush_telemetry();
   ExecResult r = collect(an, s, max_window(t, s.window_ns()), std::nullopt);
   for (const WindowSnapshot& snap : rt.snapshots())
@@ -280,6 +359,202 @@ ExecResult run_fault(const Scenario& s, const Trace& t, std::string& skip) {
     skip = std::string("exception: ") + e.what();
     return {};
   }
+}
+
+// ---------------------------------------------------------------------------
+// Churn executor: single switch with admission-invariant assertions
+// ---------------------------------------------------------------------------
+
+// Everything the control plane can observe about a switch's occupancy.  A
+// rejected install must leave this byte-identical, and an admissible
+// transient install+withdraw pair must restore it exactly.
+struct SwSnapshot {
+  std::vector<std::map<std::size_t, std::size_t>> allocs;  // per-stage ranges
+  std::vector<std::array<std::size_t, 4>> table_sizes;     // K/H/S/R rules
+  std::vector<uint64_t> bank_hash;                         // register bytes
+  std::size_t init_size = 0;
+  std::size_t free_qids = 0;
+  std::size_t installs = 0;
+  std::size_t rules = 0;
+
+  bool operator==(const SwSnapshot&) const = default;
+};
+
+SwSnapshot snapshot_switch(NewtonSwitch& sw) {
+  SwSnapshot snap;
+  const ModuleInstances& inst = sw.modules();
+  for (std::size_t st = 0; st < sw.num_stages(); ++st) {
+    snap.allocs.push_back(sw.bank_allocator(st).allocations());
+    snap.table_sizes.push_back(
+        {inst.k[st]->table().size(), inst.h[st]->table().size(),
+         inst.s[st]->table().size(), inst.r[st]->table().size()});
+    // Hash only the ALLOCATED ranges: a fresh install sweeps its new slice
+    // (zeroing residual values a withdrawn query left in the free space),
+    // so free-range bytes are dont-care — only live query state must
+    // survive a rejected or transient install untouched.
+    const RegisterArray& bank = sw.bank(st);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto& [off, width] : snap.allocs.back()) {
+      for (std::size_t i = off; i < off + width && i < bank.size(); ++i) {
+        h ^= bank.read(i);
+        h *= 0x100000001b3ull;
+      }
+    }
+    snap.bank_hash.push_back(h);
+  }
+  snap.init_size = sw.init_table().table().size();
+  snap.free_qids = sw.free_qids();
+  snap.installs = sw.num_installs();
+  snap.rules = sw.installed_rule_count();
+  return snap;
+}
+
+// Independent capacity oracle: plain counters of what every currently
+// installed query was measured to demand.  The switch's occupancy must match
+// the sum exactly at all times — no leaked registers, qids or init entries.
+struct ChurnOracle {
+  struct Rec {
+    std::size_t regs = 0, qids = 0, init = 0;
+  };
+  std::map<std::string, Rec> installed;
+  std::size_t total_qids = 0;  // switch qid space, captured while empty
+
+  void on_install(const std::string& name, const QueryDemand& d) {
+    installed[name] = {d.total_registers, d.qids, d.init_entries};
+  }
+  void on_remove(const std::string& name) { installed.erase(name); }
+
+  std::string check(const NewtonSwitch& sw) const {
+    std::size_t regs = 0, qids = 0, init = 0;
+    for (const auto& [n, r] : installed) {
+      regs += r.regs;
+      qids += r.qids;
+      init += r.init;
+    }
+    std::size_t used = 0;
+    for (std::size_t st = 0; st < sw.num_stages(); ++st)
+      used += sw.bank_allocator(st).used();
+    if (used != regs)
+      return "register conservation: switch has " + std::to_string(used) +
+             " allocated, installed queries demand " + std::to_string(regs);
+    if (sw.free_qids() != total_qids - qids)
+      return "qid conservation: " + std::to_string(sw.free_qids()) +
+             " free, expected " + std::to_string(total_qids - qids);
+    if (sw.init_table().table().size() != init)
+      return "init-entry conservation: table has " +
+             std::to_string(sw.init_table().table().size()) + ", expected " +
+             std::to_string(init);
+    return "";
+  }
+};
+
+// Like run_single at the scenario's opt level, but with the churn plan
+// interleaved: every event runs a pre-admission check, the attempt, and the
+// post-state assertions.  Invariant violations land in `out` with axis
+// "churn-invariant"; the returned reports must still be byte-identical to
+// the churn-free o0 baseline (checked by the caller).
+ExecResult run_churn(const Scenario& s, const Trace& t,
+                     const std::vector<ChurnEvent>& plan,
+                     std::vector<Divergence>& out) {
+  Analyzer an;
+  NewtonSwitch sw(1, kSingleStages, &an, bank_size(s));
+  sw.set_window_ns(s.window_ns());
+  Controller ctl(sw);
+  ctl.set_rebind_hook(
+      [&an](const std::string& name, const std::vector<uint16_t>& qids) {
+        for (std::size_t bi = 0; bi < qids.size(); ++bi)
+          an.register_qid_any(qids[bi], name, bi);
+      });
+  ChurnOracle oracle;
+  oracle.total_qids = sw.free_qids();
+  const auto invariant = [&](const char* what, bool ok, std::string why) {
+    if (!ok)
+      out.push_back({"churn-invariant", std::string(what) + ": " + why});
+  };
+  const auto conserve = [&](const char* at) {
+    const std::string err = oracle.check(sw);
+    if (!err.empty())
+      out.push_back({"churn-invariant", std::string(at) + ": " + err});
+  };
+
+  const std::vector<ResolvedOp> ops = resolve_ops(s);
+  std::size_t next = 0, cnext = 0;
+  const auto apply_scenario_due = [&](uint64_t upto) {
+    for (; next < ops.size() && ops[next].at_packet <= upto; ++next) {
+      const ResolvedOp& op = ops[next];
+      const std::string name = "q" + std::to_string(op.query);
+      if (op.kind == ResolvedOp::Kind::Install) {
+        const auto st = ctl.install(op.def, level(s.opt_level));
+        for (std::size_t bi = 0; bi < st.qids.size(); ++bi)
+          an.register_qid_any(st.qids[bi], op.def.name, bi);
+        oracle.on_install(name, QueryDemand::of(*ctl.compiled(name)));
+      } else {
+        ctl.remove(name);
+        oracle.on_remove(name);
+      }
+    }
+  };
+  const auto apply_churn_due = [&](uint64_t upto) {
+    for (; cnext < plan.size() && plan[cnext].at_packet <= upto; ++cnext) {
+      const ChurnEvent& ev = plan[cnext];
+      const Query cq = churn_query(s, ev);
+      const SwSnapshot before = snapshot_switch(sw);
+      const AdmitDecision pre = ctl.admit(cq, level(s.opt_level), "churn");
+      const auto outcome = ctl.try_install(cq, level(s.opt_level), "churn");
+      if (ev.doomed)
+        invariant("doomed install", !outcome.admitted(),
+                  "oversized query was admitted");
+      if (pre.admitted()) {
+        invariant("admit implies install", outcome.admitted(),
+                  "pre-admitted query failed to install: " +
+                      outcome.decision.to_string());
+      } else if (!pre.would_fit_compacted) {
+        // No compaction escape hatch: the attempt must reject with the same
+        // code the pure check returned.
+        invariant("decision determinism", !outcome.admitted(),
+                  "pure admission rejected but the install succeeded");
+        invariant("decision determinism",
+                  outcome.decision.code == pre.code,
+                  std::string("codes differ: ") + to_string(pre.code) +
+                      " vs " + to_string(outcome.decision.code));
+      }
+      if (!outcome.admitted()) {
+        // A fragmentation-rejected attempt may have run (and kept) a
+        // compaction pass; only compaction-free rejections must be inert.
+        if (!pre.would_fit_compacted)
+          invariant("rejected install is side-effect-free",
+                    snapshot_switch(sw) == before,
+                    "switch state changed across a rejected install");
+      } else {
+        oracle.on_install(cq.name, QueryDemand::of(*ctl.compiled(cq.name)));
+        conserve("after transient install");
+        ctl.remove(cq.name);
+        oracle.on_remove(cq.name);
+        if (pre.admitted())  // no compaction ran: exact reversal required
+          invariant("install+withdraw restores state",
+                    snapshot_switch(sw) == before,
+                    "transient install+withdraw left residue");
+      }
+      conserve("after churn event");
+    }
+  };
+
+  apply_scenario_due(0);
+  const uint64_t wns = s.window_ns();
+  uint64_t cur_w = UINT64_MAX;
+  for (std::size_t i = 0; i < t.packets.size(); ++i) {
+    const uint64_t w = t.packets[i].ts_ns / wns;
+    if (w != cur_w) {
+      if (cur_w != UINT64_MAX) {
+        apply_scenario_due(i);
+        apply_churn_due(i);
+      }
+      cur_w = w;
+    }
+    sw.process(t.packets[i]);
+  }
+  sw.flush_telemetry();
+  return collect(an, s, max_window(t, wns), std::nullopt);
 }
 
 // ---------------------------------------------------------------------------
@@ -491,6 +766,35 @@ CheckOutcome check_scenario(const Scenario& s) {
       diff_state(rtN, rt1, "rtN-vs-rt1", o.divergences);
       o.axes.push_back({"rtN-vs-rt1", true, ""});
     }
+  }
+
+  if (s.churn_ops > 0) {
+    const std::vector<ChurnEvent> plan = make_churn_plan(s, t.size());
+    std::size_t doomed = 0;
+    for (const ChurnEvent& ev : plan) doomed += ev.doomed ? 1 : 0;
+
+    // Single-switch churn with per-event admission/rollback assertions;
+    // reports must be byte-identical to the churn-free baseline.
+    std::vector<Divergence> inv;
+    const ExecResult ch = run_churn(s, t, plan, inv);
+    for (Divergence& d : inv) o.divergences.push_back(std::move(d));
+    diff_exact(ch, o0, "churn-vs-o0", std::nullopt, o.divergences);
+    o.axes.push_back({"churn-vs-o0", true, ""});
+
+    // The same plan through the threaded runtime (install/withdraw queued
+    // mid-stream, rejections recorded at barriers) — the TSan target.
+    std::size_t rejected = 0;
+    const ExecResult chrt =
+        run_runtime(s, t, 1, /*jit=*/true, &plan, &rejected);
+    diff_exact(chrt, rt1, "churnrt-vs-rt1", std::nullopt, o.divergences);
+    diff_state(chrt, rt1, "churnrt-vs-rt1", o.divergences);
+    if (rejected < doomed)
+      o.divergences.push_back(
+          {"churnrt-vs-rt1",
+           "runtime recorded " + std::to_string(rejected) +
+               " rejected installs; the plan queued " +
+               std::to_string(doomed) + " inadmissible ones"});
+    o.axes.push_back({"churnrt-vs-rt1", true, ""});
   }
 
   if (s.cqe_stages > 0) {

@@ -136,6 +136,10 @@ std::string Scenario::serialize() const {
   os << "cqe_stages " << cqe_stages << "\n";
   os << "fault " << (fault ? 1 : 0) << " seed=" << fault_seed
      << " events=" << fault_events << "\n";
+  // Emitted only when the axis is on, so pre-churn seed files round-trip
+  // unchanged.
+  if (churn_ops > 0)
+    os << "churn ops=" << churn_ops << " seed=" << churn_seed << "\n";
   os << "trace " << trace.profile << " flows=" << trace.flows
      << " seed=" << trace.seed << "\n";
   for (const InjectionSpec& i : trace.injections)
@@ -215,6 +219,9 @@ Scenario Scenario::parse(const std::string& text) {
       s.fault = std::stoi(toks.at(1)) != 0;
       s.fault_seed = static_cast<uint32_t>(kv(toks, "seed", no, line));
       s.fault_events = kv(toks, "events", no, line);
+    } else if (word == "churn") {
+      s.churn_ops = kv(toks, "ops", no, line);
+      s.churn_seed = static_cast<uint32_t>(kv(toks, "seed", no, line));
     } else if (word == "trace") {
       s.trace.profile = toks.at(1);
       s.trace.flows = kv(toks, "flows", no, line);
@@ -498,6 +505,8 @@ void normalize(Scenario& s) {
   s.window_ms = std::clamp<uint64_t>(s.window_ms, 10, 500);
   s.burst = std::clamp<std::size_t>(s.burst, 1, 1024);
   s.opt_level = std::clamp(s.opt_level, 1, 3);
+  if (s.churn_ops > 0)
+    s.churn_ops = std::clamp<std::size_t>(s.churn_ops, 1, 64);
 
   // Fault axis preconditions: query 0 reduce-free (report equivalence under
   // reroute is only an invariant for stateless/distinct exporters) and no
@@ -650,6 +659,12 @@ Scenario generate_scenario(uint64_t seed) {
   }
 
   gen_ops(s, rng);
+  // Churn axis on ~1/3 of scenarios (drawn last so earlier fields keep the
+  // same rng stream as before the axis existed).
+  if (rng() % 3 == 0) {
+    s.churn_ops = rnd(rng, 6, 16);
+    s.churn_seed = static_cast<uint32_t>(rnd(rng, 1, 1'000'000));
+  }
   normalize(s);
   return s;
 }
@@ -659,7 +674,7 @@ Scenario mutate_scenario(const Scenario& base, std::mt19937_64& rng) {
   s.id = rng();
   const std::size_t n_mut = rnd(rng, 1, 2);
   for (std::size_t m = 0; m < n_mut; ++m) {
-    switch (rng() % 12) {
+    switch (rng() % 13) {
       case 0: s.window_ms = pick<uint64_t>(rng, {50, 100, 200}); break;
       case 1: s.opt_level = static_cast<int>(rnd(rng, 1, 3)); break;
       case 2:
@@ -710,6 +725,14 @@ Scenario mutate_scenario(const Scenario& base, std::mt19937_64& rng) {
           s.fault = true;
           s.fault_seed = static_cast<uint32_t>(rnd(rng, 1, 1'000'000));
           s.fault_events = rnd(rng, 2, 6);
+        }
+        break;
+      case 11:  // toggle the churn axis
+        if (s.churn_ops > 0) {
+          s.churn_ops = 0;
+        } else {
+          s.churn_ops = rnd(rng, 6, 16);
+          s.churn_seed = static_cast<uint32_t>(rnd(rng, 1, 1'000'000));
         }
         break;
       default: {  // nudge a when-threshold

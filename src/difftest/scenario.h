@@ -81,6 +81,16 @@ struct Scenario {
   bool fault = false;          // fat-tree link-failure axis (query 0 only)
   uint32_t fault_seed = 1;
   std::size_t fault_events = 0;
+  // Control-plane churn axis (docs/admission.md): when > 0 the harness
+  // re-runs the scenario with `churn_ops` derived install/withdraw events —
+  // a deterministic mix of admissible transient installs and provably
+  // inadmissible ones — interleaved at window crossings, asserting the
+  // admission invariants (admit => the install fits; reject => the switch
+  // state is byte-identical to the pre-attempt snapshot; exact register /
+  // qid / init-entry conservation) and that reports stay byte-identical to
+  // the churn-free baseline.  0 = axis off.
+  std::size_t churn_ops = 0;
+  uint32_t churn_seed = 1;
 
   uint64_t window_ns() const { return window_ms * 1'000'000ull; }
 

@@ -16,6 +16,7 @@ struct FaultCounters {
   telemetry::Counter& failovers;
   telemetry::Counter& delta_installs;
   telemetry::Counter& delta_withdrawals;
+  telemetry::Counter& failed_permanent;
   telemetry::Gauge& degraded;
 
   static FaultCounters& get() {
@@ -33,6 +34,9 @@ struct FaultCounters {
                     "Slices installed by failover reconciliation"),
         reg.counter("newton_net_delta_withdrawals_total",
                     "Slices withdrawn by failover reconciliation"),
+        reg.counter("newton_net_installs_failed_permanent_total",
+                    "Installs that exhausted their retry budget and were "
+                    "terminally rolled back (FAILED_PERMANENT)"),
         reg.gauge("newton_net_degraded_deployments",
                   "Deployments currently running with partial coverage")};
     return c;
@@ -46,8 +50,32 @@ bool NetworkController::any_degraded() const {
                      [](const auto& kv) { return kv.second.degraded; });
 }
 
+namespace {
+
+// Deterministic backoff jitter in [1 - frac, 1 + frac], keyed on the
+// (switch, attempt, deployment) triple: retry herds de-correlate, but a
+// replayed run charges byte-identical modeled latencies.
+double jitter_factor(int sw_node, std::size_t attempt, uint16_t uid,
+                     double frac) {
+  uint64_t h = 1469598103934665603ull;
+  for (const uint64_t w : {static_cast<uint64_t>(sw_node),
+                           static_cast<uint64_t>(attempt),
+                           static_cast<uint64_t>(uid)}) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  const double unit = static_cast<double>(h % 10'000) / 9'999.0;  // [0, 1]
+  return 1.0 - frac + 2.0 * frac * unit;
+}
+
+}  // namespace
+
 NewtonSwitch::InstallResult NetworkController::install_with_retry(
     int sw_node, const QuerySlice& slice, Deployment& d) {
+  // Bounded-retry state machine (docs/admission.md): TRYING -> (flake) ->
+  // BACKOFF -> TRYING ... until success, per-switch attempts exhausted, or
+  // the deployment-wide retry budget runs dry — then FAILED_PERMANENT: the
+  // caller rolls the whole placement back and the controller moves on.
   double backoff = retry_.base_backoff_ms;
   for (std::size_t attempt = 1;; ++attempt) {
     try {
@@ -55,13 +83,25 @@ NewtonSwitch::InstallResult NetworkController::install_with_retry(
         throw std::runtime_error("install: switch " + std::to_string(sw_node) +
                                  " rejected the rule batch");
       return net_.sw(sw_node).install_slice(slice, d.uid, /*resolve=*/false);
-    } catch (const std::exception&) {
-      if (attempt >= retry_.max_attempts) throw;
+    } catch (const std::exception& e) {
+      // Every failed attempt costs the modeled per-attempt timeout (the
+      // wait before declaring the batch lost).
+      d.total_latency_ms += retry_.attempt_timeout_ms;
+      if (attempt >= retry_.max_attempts ||
+          d.retries_used >= retry_.retry_budget) {
+        ++fault_stats_.failed_permanent;
+        FaultCounters::get().failed_permanent.add();
+        last_failure_ = {d.query, sw_node, attempt, d.retries_used, e.what()};
+        throw PermanentInstallError(*last_failure_);
+      }
       ++fault_stats_.install_retries;
+      ++d.retries_used;
       FaultCounters::get().retries.add();
-      // Modeled exponential backoff: charged to the deployment's control
-      // latency rather than slept, keeping tests instant.
-      d.total_latency_ms += backoff;
+      // Modeled jittered exponential backoff: charged to the deployment's
+      // control latency rather than slept, keeping tests instant.
+      d.total_latency_ms +=
+          std::min(backoff, retry_.max_backoff_ms) *
+          jitter_factor(sw_node, attempt, d.uid, retry_.jitter_frac);
       backoff *= 2;
     }
   }
@@ -262,6 +302,10 @@ void NetworkController::refresh_degraded(Deployment& d) {
 void NetworkController::reconcile(Deployment& d) {
   // Algorithm 2 on the surviving topology, then diff against what is
   // installed: only the delta touches switches.
+  // Each reconciliation episode gets a fresh retry budget: a deployment
+  // that went FAILED_PERMANENT during a churn storm must still be able to
+  // heal once the fabric calms down.
+  d.retries_used = 0;
   std::vector<int> ingress;
   for (int e : d.ingress_edges)
     if (net_.topo().node_up(e)) ingress.push_back(e);

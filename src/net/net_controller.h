@@ -16,7 +16,9 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,9 +32,49 @@ namespace newton {
 
 // Retry-with-exponential-backoff policy for one switch's rule batch.  The
 // backoff is modeled (added to the deployment's control latency), not slept.
+// docs/admission.md draws the full retry/backoff state machine.
 struct RetryPolicy {
-  std::size_t max_attempts = 4;  // first try + 3 retries
-  double base_backoff_ms = 2.0;  // doubles per retry
+  std::size_t max_attempts = 4;  // first try + 3 retries, per switch
+  double base_backoff_ms = 2.0;  // doubles per retry...
+  double max_backoff_ms = 64.0;  // ...up to this cap
+  // Deterministic jitter: each backoff is scaled by a factor drawn from
+  // [1 - jitter_frac, 1 + jitter_frac], keyed on (switch, attempt, uid) —
+  // synchronized retry herds de-correlate while runs stay byte-reproducible.
+  double jitter_frac = 0.5;
+  // Modeled cost of one timed-out attempt (how long the controller waits
+  // before declaring the batch lost), charged per failed attempt on top of
+  // the backoff.
+  double attempt_timeout_ms = 20.0;
+  // Whole-deployment retry budget: once one deploy has burned this many
+  // retries across all its switches, the next failure is terminal
+  // (FAILED_PERMANENT) even if that switch has per-attempt headroom — a
+  // flapping switch can bound-delay an install but never wedge the
+  // controller in a retry loop.
+  std::size_t retry_budget = 24;
+};
+
+// Terminal outcome of an install whose retries were exhausted: the whole
+// placement was rolled back (zero residue) and the controller moved on.
+struct InstallFailure {
+  std::string query;
+  int sw_node = -1;             // the switch whose batch kept failing
+  std::size_t attempts = 0;     // attempts burned on that switch
+  std::size_t retries_charged = 0;  // deployment-wide retries burned
+  std::string reason;
+};
+
+class PermanentInstallError : public std::runtime_error {
+ public:
+  explicit PermanentInstallError(InstallFailure f)
+      : std::runtime_error("FAILED_PERMANENT: install of '" + f.query +
+                           "' on switch " + std::to_string(f.sw_node) +
+                           " after " + std::to_string(f.attempts) +
+                           " attempts: " + f.reason),
+        failure_(std::move(f)) {}
+  const InstallFailure& failure() const { return failure_; }
+
+ private:
+  InstallFailure failure_;
 };
 
 class NetworkController {
@@ -73,6 +115,9 @@ class NetworkController {
     // False for deploy_path/deploy_sole — those are not re-placed on
     // failure (the control arm must stay naive).
     bool resilient = true;
+    // Retries burned installing this deployment, against the policy's
+    // whole-deployment retry_budget.
+    std::size_t retries_used = 0;
   };
 
   // Running totals of the fault machinery (mirrored into telemetry).
@@ -82,6 +127,7 @@ class NetworkController {
     uint64_t failovers = 0;         // switch-death reconciliations
     uint64_t delta_installs = 0;    // slices added by a reconcile
     uint64_t delta_withdrawals = 0; // slices removed by a reconcile
+    uint64_t failed_permanent = 0;  // installs that hit FAILED_PERMANENT
   };
 
   // Resilient CQE deployment across all possible paths from the monitored
@@ -116,6 +162,11 @@ class NetworkController {
   const Deployment* deployment(const std::string& name) const;
   const std::vector<QuerySlice>* slices_of(const std::string& name) const;
   const FaultStats& fault_stats() const { return fault_stats_; }
+  // The most recent FAILED_PERMANENT install, for operator tooling; empty
+  // until one happens.
+  const std::optional<InstallFailure>& last_install_failure() const {
+    return last_failure_;
+  }
   // Any deployment currently running with partial coverage?
   bool any_degraded() const;
 
@@ -137,6 +188,7 @@ class NetworkController {
   std::vector<RangeAllocator> central_alloc_;
   std::map<std::string, Deployment> deployments_;
   FaultStats fault_stats_;
+  std::optional<InstallFailure> last_failure_;
   uint16_t next_uid_ = 1;
 };
 

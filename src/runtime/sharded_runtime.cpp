@@ -39,6 +39,20 @@ ShardedRuntime::ShardedRuntime(NewtonSwitch& primary, RuntimeOptions opts,
           "ShardedRuntime: controller mutation while a window is open; use "
           "install()/withdraw(), which quiesce at the next window barrier");
   });
+  // Online compaction reassigns a moved query's qids; keep snapshot
+  // attribution and analyzer routing in step, and force a replica reload so
+  // the workers pick up the migrated layout.
+  controller_.set_rebind_hook(
+      [this](const std::string& name, const std::vector<uint16_t>& qids) {
+        for (auto it = qid_owner_.begin(); it != qid_owner_.end();)
+          it = it->second.first == name ? qid_owner_.erase(it)
+                                        : std::next(it);
+        for (std::size_t bi = 0; bi < qids.size(); ++bi) {
+          qid_owner_[qids[bi]] = {name, bi};
+          if (analyzer_) analyzer_->register_qid_any(qids[bi], name, bi);
+        }
+        replicas_dirty_ = true;
+      });
   if (opts_.burst == 0) opts_.burst = 1;
   // The environment escape hatch wins over the option: one variable
   // bisects a suspected compiled-executor miscompare back to the
@@ -105,6 +119,14 @@ void ShardedRuntime::bind_telemetry() {
       &reg.counter("newton_runtime_jit_fused_packets_total",
                    "Compiled-path packets that ran a fused chain-shape "
                    "executor (the rest took the generic compiled loop)");
+  metrics_.installs_rejected =
+      &reg.counter("newton_runtime_installs_rejected_total",
+                   "Queued installs rejected by admission control at a "
+                   "window barrier (side-effect-free)");
+  metrics_.jit_recompiles =
+      &reg.counter("newton_jit_recompiles_total",
+                   "Chain-JIT rebuild events (back-to-back rule updates "
+                   "coalesce into one rebuild; see jit_debounce_windows)");
   metrics_.shard_packets.resize(workers_.size());
   metrics_.shard_occupancy.resize(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -132,6 +154,10 @@ void ShardedRuntime::flush_telemetry() {
                               flushed_.redistributed_packets);
   metrics_.abandoned->add(stats_.abandoned_packets -
                           flushed_.abandoned_packets);
+  metrics_.installs_rejected->add(stats_.installs_rejected -
+                                  flushed_.installs_rejected);
+  metrics_.jit_recompiles->add(stats_.jit_recompiles -
+                               flushed_.jit_recompiles);
   metrics_.live_shards->set(static_cast<int64_t>(live_count_));
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     metrics_.shard_packets[i]->add(stats_.workers[i].packets -
@@ -157,19 +183,26 @@ ShardedRuntime::~ShardedRuntime() {
   }
 }
 
-void ShardedRuntime::install(const Query& q, CompileOptions opts) {
+void ShardedRuntime::install(const Query& q, CompileOptions opts,
+                             const std::string& tenant) {
   if (!started_) {
     at_barrier_ = true;
-    const auto st = controller_.install(q, opts);
-    at_barrier_ = false;
-    for (std::size_t bi = 0; bi < st.qids.size(); ++bi) {
-      qid_owner_[st.qids[bi]] = {q.name, bi};
-      if (analyzer_) analyzer_->register_qid_any(st.qids[bi], q.name, bi);
+    try {
+      const auto st = controller_.install(q, opts, tenant);
+      at_barrier_ = false;
+      for (std::size_t bi = 0; bi < st.qids.size(); ++bi) {
+        qid_owner_[st.qids[bi]] = {q.name, bi};
+        if (analyzer_) analyzer_->register_qid_any(st.qids[bi], q.name, bi);
+      }
+    } catch (...) {
+      at_barrier_ = false;
+      throw;
     }
     replicas_dirty_ = true;
     return;
   }
-  pending_.push_back({PendingMutation::Kind::Install, q, opts, q.name});
+  pending_.push_back({PendingMutation::Kind::Install, q, opts, q.name,
+                      tenant});
 }
 
 void ShardedRuntime::withdraw(const std::string& name) {
@@ -182,7 +215,7 @@ void ShardedRuntime::withdraw(const std::string& name) {
     replicas_dirty_ = true;
     return;
   }
-  pending_.push_back({PendingMutation::Kind::Withdraw, {}, {}, name});
+  pending_.push_back({PendingMutation::Kind::Withdraw, {}, {}, name, {}});
 }
 
 void ShardedRuntime::start() {
@@ -421,10 +454,12 @@ void ShardedRuntime::barrier() {
   for (std::size_t i = 0; i < workers_.size(); ++i)
     if (alive_[i]) workers_[i]->publish_telemetry();
   const auto merge_t0 = std::chrono::steady_clock::now();
+  const bool mutating = !pending_.empty();
   drain_and_merge();
   apply_mutations();
   if (replicas_dirty_)
-    reload_replicas();
+    reload_replicas(/*build_jit=*/opts_.jit_debounce_windows == 0);
+  maybe_relower(mutating);
   for (std::size_t i = 0; i < workers_.size(); ++i)
     if (alive_[i]) workers_[i]->reset_banks();
   metrics_.merge_us->observe(
@@ -506,30 +541,71 @@ void ShardedRuntime::drain_and_merge() {
 void ShardedRuntime::apply_mutations() {
   if (pending_.empty()) return;
   at_barrier_ = true;
+  bool applied = false;
   for (auto& m : pending_) {
     if (m.kind == PendingMutation::Kind::Install) {
-      const auto st = controller_.install(m.q, m.opts);
-      for (std::size_t bi = 0; bi < st.qids.size(); ++bi) {
-        qid_owner_[st.qids[bi]] = {m.q.name, bi};
-        if (analyzer_) analyzer_->register_qid_any(st.qids[bi], m.q.name, bi);
+      // Admission-checked: a rejected install is recorded and provably
+      // side-effect-free — it must never throw out of the barrier and wedge
+      // the runtime mid-window.
+      auto out = controller_.try_install(m.q, m.opts, m.tenant);
+      if (!out.admitted()) {
+        ++stats_.installs_rejected;
+        rejections_.push_back(
+            {m.q.name, m.tenant, std::move(out.decision), cur_epoch_});
+        continue;
+      }
+      for (std::size_t bi = 0; bi < out.stats.qids.size(); ++bi) {
+        qid_owner_[out.stats.qids[bi]] = {m.q.name, bi};
+        if (analyzer_)
+          analyzer_->register_qid_any(out.stats.qids[bi], m.q.name, bi);
       }
     } else {
+      // A withdraw whose target is absent at apply time (its install was
+      // rejected in this same batch, or it raced an earlier withdraw) is a
+      // no-op, not an error.
+      if (!controller_.installed(m.name)) continue;
       controller_.remove(m.name);
       for (auto it = qid_owner_.begin(); it != qid_owner_.end();)
         it = it->second.first == m.name ? qid_owner_.erase(it) : std::next(it);
     }
+    applied = true;
     ++stats_.rule_updates_applied;
   }
   at_barrier_ = false;
   pending_.clear();
-  replicas_dirty_ = true;
+  // Rejected-only batches leave the pipeline byte-identical: no reload
+  // (unless auto-compaction moved something, which the rebind hook flags).
+  if (applied) replicas_dirty_ = true;
 }
 
-void ShardedRuntime::reload_replicas() {
+void ShardedRuntime::reload_replicas(bool build_jit) {
   for (std::size_t i = 0; i < workers_.size(); ++i)
     if (alive_[i])
-      workers_[i]->load_replica(primary_.pipeline(), primary_.init_table());
+      workers_[i]->load_replica(primary_.pipeline(), primary_.init_table(),
+                                build_jit);
   replicas_dirty_ = false;
+  if (opts_.jit && build_jit) {
+    ++stats_.jit_recompiles;
+    jit_stale_ = false;
+    publish_jit_coverage();
+  } else if (opts_.jit) {
+    jit_stale_ = true;
+    quiet_barriers_ = 0;
+  }
+}
+
+void ShardedRuntime::maybe_relower(bool mutated_this_barrier) {
+  if (!opts_.jit || !jit_stale_) return;
+  if (mutated_this_barrier) {
+    quiet_barriers_ = 0;
+    return;
+  }
+  if (++quiet_barriers_ < opts_.jit_debounce_windows) return;
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    if (alive_[i]) workers_[i]->relower_chains();
+  ++stats_.jit_recompiles;
+  jit_stale_ = false;
+  quiet_barriers_ = 0;
   publish_jit_coverage();
 }
 

@@ -70,6 +70,13 @@ struct RuntimeOptions {
   // fallback for uncovered shapes.  Forced off by the NEWTON_NO_JIT
   // environment variable (checked once at construction).
   bool jit = true;
+  // Recompile coalescing under churn (docs/admission.md): after a barrier
+  // applies rule mutations, the replica reload defers chain lowering and
+  // the workers run the (byte-identical) interpreter until this many
+  // consecutive mutation-free barriers pass, then ONE rebuild covers the
+  // whole batch of updates.  0 rebuilds eagerly at every reload (the
+  // pre-churn behavior).
+  std::size_t jit_debounce_windows = 1;
 };
 
 // Aggregated per-run totals, derived from the same values the telemetry
@@ -84,6 +91,8 @@ struct RuntimeStats {
   uint64_t worker_failovers = 0;      // shard workers failed over
   uint64_t redistributed_packets = 0; // ring backlog moved to a successor
   uint64_t abandoned_packets = 0;     // backlog lost with a hung worker
+  uint64_t installs_rejected = 0;     // queued installs admission rejected
+  uint64_t jit_recompiles = 0;        // chain-JIT rebuild events (coalesced)
   std::size_t live_shards = 0;        // workers still processing
   std::vector<WorkerStats> workers;   // per shard, refreshed at barriers
 };
@@ -123,9 +132,25 @@ class ShardedRuntime {
   // Install / withdraw a query.  Before the stream starts this applies
   // immediately; mid-stream it queues and applies at the next window
   // barrier, where every worker is quiesced (rule updates never observe a
-  // half-processed window).
-  void install(const Query& q, CompileOptions opts = {});
+  // half-processed window).  Queued installs pass admission control when
+  // applied: a rejected install never throws out of the barrier — it is
+  // counted, recorded in rejections(), and provably leaves the pipeline
+  // untouched.  Withdrawing a name that is not installed at apply time
+  // (e.g. its install was rejected in the same batch) is a counted no-op.
+  void install(const Query& q, CompileOptions opts = {},
+               const std::string& tenant = kDefaultTenant);
   void withdraw(const std::string& name);
+
+  // One admission-rejected queued install.
+  struct RejectedInstall {
+    std::string query;
+    std::string tenant;
+    AdmitDecision decision;
+    uint64_t window = 0;  // epoch of the barrier that rejected it
+  };
+  const std::vector<RejectedInstall>& rejections() const {
+    return rejections_;
+  }
 
   // Direct controller access (reads are always safe; mutation while a
   // window is open throws via the quiesce guard).
@@ -160,7 +185,14 @@ class ShardedRuntime {
   void barrier();           // fence all workers, merge, drain, mutate, reset
   void drain_and_merge();   // reports -> sinks, banks -> primary, snapshot
   void apply_mutations();   // queued installs/withdrawals, under quiesce
-  void reload_replicas();   // re-clone primary pipeline into every worker
+  // Re-clone the primary pipeline into every worker.  build_jit = false
+  // defers chain lowering (workers fall back to the interpreter) so
+  // back-to-back reloads coalesce into one rebuild later — see
+  // maybe_relower().
+  void reload_replicas(bool build_jit = true);
+  // Debounced chain-JIT rebuild: called at mutation-free barriers; lowers
+  // the current replicas once the storm has been quiet long enough.
+  void maybe_relower(bool mutated_this_barrier);
   // Mirror per-query compiled/interpreted coverage into the registry's
   // newton_jit_query_compiled gauge (cold path: after replica reloads).
   void publish_jit_coverage();
@@ -185,6 +217,7 @@ class ShardedRuntime {
     Query q;             // Install
     CompileOptions opts; // Install
     std::string name;    // Withdraw
+    std::string tenant;  // Install
   };
 
   NewtonSwitch& primary_;
@@ -200,6 +233,7 @@ class ShardedRuntime {
   // allocates.
   std::vector<std::vector<WorkItem>> staging_;
   std::vector<PendingMutation> pending_;
+  std::vector<RejectedInstall> rejections_;
   // qid -> (query name, branch), for snapshot attribution.
   std::map<uint16_t, std::pair<std::string, std::size_t>> qid_owner_;
 
@@ -223,6 +257,8 @@ class ShardedRuntime {
     telemetry::Gauge* live_shards = nullptr;
     telemetry::Counter* jit_packets = nullptr;        // compiled-path packets
     telemetry::Counter* jit_fused_packets = nullptr;  // fused-shape subset
+    telemetry::Counter* installs_rejected = nullptr;
+    telemetry::Counter* jit_recompiles = nullptr;
     std::vector<telemetry::Counter*> shard_packets;
     std::vector<telemetry::Gauge*> shard_occupancy;  // ring depth at barrier
   };
@@ -244,6 +280,11 @@ class ShardedRuntime {
   bool started_ = false;
   bool at_barrier_ = false;   // quiesce guard: controller mutation allowed
   bool replicas_dirty_ = true;
+  // Chain-JIT debounce state: replicas were reloaded with lowering deferred
+  // (workers interpret), and how many consecutive mutation-free barriers
+  // have passed since.
+  bool jit_stale_ = false;
+  std::size_t quiet_barriers_ = 0;
 };
 
 }  // namespace newton

@@ -40,7 +40,8 @@ ShardWorker::~ShardWorker() {
   }
 }
 
-void ShardWorker::load_replica(const Pipeline& pipe, const InitModule& init) {
+void ShardWorker::load_replica(const Pipeline& pipe, const InitModule& init,
+                               bool build_jit) {
   pipeline_ = pipe.clone();
   auto cloned = std::dynamic_pointer_cast<InitModule>(init.clone());
   if (!cloned)
@@ -60,7 +61,14 @@ void ShardWorker::load_replica(const Pipeline& pipe, const InitModule& init) {
     }
   }
   // Lower the freshly-loaded chains AFTER the sink rebinding above: the
-  // compiled R ops capture the sink pointers as constants.
+  // compiled R ops capture the sink pointers as constants.  Under churn the
+  // runtime defers the lowering (build_jit = false): the replica runs the
+  // interpreter — byte-identical — until the install storm goes quiet, then
+  // one relower_chains() covers the whole batch of updates.
+  jit_.build(pipeline_, burst_, jit_on_ && build_jit);
+}
+
+void ShardWorker::relower_chains() {
   jit_.build(pipeline_, burst_, jit_on_);
 }
 

@@ -65,9 +65,18 @@ class ShardWorker {
   // Replace the replica with a fresh deep clone of `pipe` + `init`, bind
   // the cloned R modules to this worker's private report buffer, and lower
   // the installed chains into compiled executors (unless jit was turned
-  // off).  Demux thread only; worker must be quiesced (not yet started, or
-  // fenced).
-  void load_replica(const Pipeline& pipe, const InitModule& init);
+  // off).  `build_jit` = false defers the lowering — the replica runs the
+  // interpreter until relower_chains() — so the runtime can coalesce
+  // recompiles across back-to-back rule updates (a stale CompiledPipeline
+  // must NEVER survive a reload: its ops hold pointers into the replaced
+  // replica's modules).  Demux thread only; worker must be quiesced (not
+  // yet started, or fenced).
+  void load_replica(const Pipeline& pipe, const InitModule& init,
+                    bool build_jit = true);
+
+  // Lower the current replica's chains into compiled executors (the
+  // deferred half of load_replica(..., false)).  Demux thread, quiesced.
+  void relower_chains();
 
   // Enable/disable chain compilation for subsequent replica loads
   // (RuntimeOptions::jit / NEWTON_NO_JIT).  Defaults to on.

@@ -2,6 +2,10 @@
 // register-range allocation behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <random>
+
 #include "core/controller.h"
 #include "core/queries.h"
 #include "core/range_alloc.h"
@@ -76,6 +80,89 @@ TEST(RangeAlloc, AllocateBoundaries) {
   const auto tail = a.allocate(1);
   ASSERT_TRUE(tail.has_value());
   EXPECT_EQ(*tail, 9u);
+}
+
+TEST(RangeAlloc, FragmentationSoak10kOps) {
+  // Randomized reserve/release soak against a shadow model: after every
+  // operation the allocator's map must match the shadow exactly (no
+  // overlap, no leak), used()/free_total() must stay exact, and
+  // largest_free_block() must equal the widest gap the shadow sees —
+  // the fragmentation gauges (docs/admission.md) are built on it.
+  constexpr std::size_t kCap = 4096;
+  RangeAllocator a(kCap);
+  std::map<std::size_t, std::size_t> shadow;  // offset -> width
+  std::mt19937 rng(20'260'809);
+
+  const auto shadow_used = [&] {
+    std::size_t n = 0;
+    for (const auto& [o, w] : shadow) n += w;
+    return n;
+  };
+  const auto shadow_largest_gap = [&] {
+    std::size_t best = 0, cursor = 0;
+    for (const auto& [o, w] : shadow) {
+      best = std::max(best, o - cursor);
+      cursor = o + w;
+    }
+    return std::max(best, kCap - cursor);
+  };
+  const auto shadow_overlaps = [&](std::size_t off, std::size_t w) {
+    if (off + w > kCap || w == 0) return true;
+    const auto nxt = shadow.lower_bound(off);
+    if (nxt != shadow.end() && nxt->first < off + w) return true;
+    if (nxt != shadow.begin()) {
+      const auto prev = std::prev(nxt);
+      if (prev->first + prev->second > off) return true;
+    }
+    return false;
+  };
+
+  for (int op = 0; op < 10'000; ++op) {
+    switch (rng() % 3) {
+      case 0: {  // first-fit allocate
+        const std::size_t w = 1 + rng() % 96;
+        const auto got = a.allocate(w);
+        if (got) {
+          ASSERT_FALSE(shadow_overlaps(*got, w))
+              << "op " << op << ": allocate overlapped at " << *got;
+          shadow[*got] = w;
+        } else {
+          ASSERT_LT(shadow_largest_gap(), w)
+              << "op " << op << ": allocate failed but a gap fit";
+        }
+        break;
+      }
+      case 1: {  // reserve an arbitrary range
+        const std::size_t off = rng() % kCap;
+        const std::size_t w = 1 + rng() % 96;
+        const bool ok = a.reserve(off, w);
+        ASSERT_EQ(ok, !shadow_overlaps(off, w)) << "op " << op;
+        if (ok) shadow[off] = w;
+        break;
+      }
+      case 2: {  // free a live range (or a bogus offset)
+        if (!shadow.empty() && rng() % 8 != 0) {
+          auto it = shadow.begin();
+          std::advance(it, rng() % shadow.size());
+          ASSERT_TRUE(a.free(it->first)) << "op " << op;
+          shadow.erase(it);
+        } else {
+          // An offset that is not an allocation start must be refused.
+          const std::size_t off = rng() % kCap;
+          if (!shadow.contains(off)) ASSERT_FALSE(a.free(off));
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(a.allocations(), shadow) << "op " << op;
+    ASSERT_EQ(a.used(), shadow_used()) << "op " << op;
+    ASSERT_EQ(a.free_total(), kCap - shadow_used()) << "op " << op;
+    ASSERT_EQ(a.largest_free_block(), shadow_largest_gap()) << "op " << op;
+  }
+  // Drain: everything frees, accounting returns to pristine.
+  for (const auto& [o, w] : shadow) ASSERT_TRUE(a.free(o));
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(a.largest_free_block(), kCap);
 }
 
 TEST(Controller, InstallRemoveLifecycle) {
