@@ -8,7 +8,9 @@ void RegisterArray::reset() { std::fill(regs_.begin(), regs_.end(), 0); }
 
 void RegisterArray::clear_range(std::size_t offset, std::size_t width) {
   if (offset >= regs_.size()) return;
-  const std::size_t end = std::min(regs_.size(), offset + width);
+  // Clamp via the remaining capacity, not offset + width, which can wrap
+  // for near-SIZE_MAX widths and would invert the fill range.
+  const std::size_t end = offset + std::min(width, regs_.size() - offset);
   std::fill(regs_.begin() + static_cast<long>(offset),
             regs_.begin() + static_cast<long>(end), 0);
 }
@@ -26,7 +28,7 @@ void RegisterArray::merge_range_from(const RegisterArray& other,
     throw std::invalid_argument(
         "RegisterArray::merge_range_from: size mismatch");
   if (offset >= regs_.size()) return;
-  const std::size_t end = std::min(regs_.size(), offset + width);
+  const std::size_t end = offset + std::min(width, regs_.size() - offset);
   for (std::size_t i = offset; i < end; ++i) {
     switch (op) {
       case MergeOp::Add: regs_[i] += other.regs_[i]; break;

@@ -11,6 +11,7 @@
 //   Or    -> PREVIOUS value (so `distinct` sees 0/partial on first occurrence)
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -38,10 +39,56 @@ class RegisterArray {
   // Execute `op` on register `index` with `operand`; returns the value the
   // SALU forwards (see semantics above).  Out-of-range indices are a
   // programming error in the compiler and throw.  Inline: this is the
-  // per-packet innermost call of both the interpreter's S module and the
-  // compiled executors.
+  // per-packet innermost call of the interpreter's S module.
   uint32_t execute(SaluOp op, std::size_t index, uint32_t operand) {
-    uint32_t& reg = regs_.at(index);
+    return apply(regs_.at(index), op, operand);
+  }
+
+  // Hot-path variant for the compiled executors (src/compile/): identical
+  // semantics, but the caller guarantees index < size() — the lowered index
+  // expressions are reduced modulo size() at compile/lower time, so the
+  // per-packet innermost loop re-running `at()`'s bounds check buys
+  // nothing.  Debug builds still assert.
+  uint32_t execute_unchecked(SaluOp op, std::size_t index, uint32_t operand) {
+    assert(index < regs_.size());
+    return apply(regs_[index], op, operand);
+  }
+
+  // Cache-line prefetch hint for an upcoming execute_unchecked on `index`
+  // (write intent: every SALU op but Read stores).  Purely advisory — no
+  // architectural effect — but the compiled executors' prefetch phase uses
+  // it to overlap the state bank's DRAM latency across burst lanes.
+  // Caller guarantees index < size(), as for execute_unchecked.
+  void prefetch(std::size_t index) const {
+    assert(index < regs_.size());
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(regs_.data() + index, /*rw=*/1, /*locality=*/1);
+#endif
+  }
+
+  uint32_t read(std::size_t index) const { return regs_.at(index); }
+  void reset();  // epoch rollover: zero all registers
+  // Zero one range (control plane sweeps a freshly allocated query slice so
+  // no stale state from a removed query leaks into a new one).  Clamp
+  // semantics, relied on by callers that size ranges optimistically: an
+  // `offset` at or past the end is a no-op, and a range overshooting the
+  // end (including offset + width overflow) is clamped to the last
+  // register.  width == 0 clears nothing.
+  void clear_range(std::size_t offset, std::size_t width);
+
+  // Fold `other` into this array element-wise; sizes must match.
+  void merge_from(const RegisterArray& other, MergeOp op);
+  // Range-restricted merge, with the same clamp semantics as clear_range:
+  // an offset at/past the end merges nothing, an overshooting width is
+  // clamped, width == 0 is a no-op.  Used by the sharded runtime to combine
+  // only the register slices actually allocated to queries.
+  void merge_range_from(const RegisterArray& other, std::size_t offset,
+                        std::size_t width, MergeOp op);
+
+  std::size_t size() const { return regs_.size(); }
+
+ private:
+  static uint32_t apply(uint32_t& reg, SaluOp op, uint32_t operand) {
     switch (op) {
       case SaluOp::Read:
         return reg;
@@ -62,23 +109,6 @@ class RegisterArray {
     return 0;
   }
 
-  uint32_t read(std::size_t index) const { return regs_.at(index); }
-  void reset();  // epoch rollover: zero all registers
-  // Zero one range (control plane sweeps a freshly allocated query slice so
-  // no stale state from a removed query leaks into a new one).
-  void clear_range(std::size_t offset, std::size_t width);
-
-  // Fold `other` into this array element-wise; sizes must match.
-  void merge_from(const RegisterArray& other, MergeOp op);
-  // Range-restricted merge (clamped at the end like clear_range; an offset
-  // past the end is a no-op).  Used by the sharded runtime to combine only
-  // the register slices actually allocated to queries.
-  void merge_range_from(const RegisterArray& other, std::size_t offset,
-                        std::size_t width, MergeOp op);
-
-  std::size_t size() const { return regs_.size(); }
-
- private:
   std::vector<uint32_t> regs_;
 };
 

@@ -65,11 +65,21 @@ void ShardWorker::load_replica(const Pipeline& pipe, const InitModule& init,
   // runtime defers the lowering (build_jit = false): the replica runs the
   // interpreter — byte-identical — until the install storm goes quiet, then
   // one relower_chains() covers the whole batch of updates.
-  jit_.build(pipeline_, burst_, jit_on_ && build_jit);
+  compile::ExecOptions opts = exec_opts_;
+  opts.enabled = exec_opts_.enabled && build_jit;
+  jit_.build(pipeline_, burst_, opts);
 }
 
 void ShardWorker::relower_chains() {
-  jit_.build(pipeline_, burst_, jit_on_);
+  jit_.build(pipeline_, burst_, exec_opts_);
+}
+
+void ShardWorker::sync_jit_stats() {
+  const compile::ExecStats& es = jit_.stats();
+  stats_.jit_planned_runs = es.planned_runs;
+  stats_.jit_hash_lanes = es.hash_lanes;
+  stats_.jit_hash_cse_lanes = es.hash_cse_lanes;
+  stats_.jit_prefetch_issued = es.prefetch_issued;
 }
 
 void ShardWorker::start() {
@@ -187,6 +197,7 @@ void ShardWorker::run() {
       // queued behind the poison stay in the ring for redistribution; the
       // replica is left intact for the demux to salvage after join().
       stats_.busy_ns = thread_cpu_ns();
+      sync_jit_stats();
       ring_.close();
       return;
     }
@@ -202,11 +213,13 @@ void ShardWorker::run() {
     // the running total accumulates exactly once per window.
     stats_.reports += reports_.size();
     stats_.busy_ns = thread_cpu_ns();
+    sync_jit_stats();
     // Release: every replica write above happens-before the demux's
     // acquire in wait_fence_for.
     fences_seen_.fetch_add(1, std::memory_order_release);
   }
   stats_.busy_ns = thread_cpu_ns();
+  sync_jit_stats();
 }
 
 }  // namespace newton

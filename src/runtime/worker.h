@@ -36,6 +36,14 @@ struct WorkerStats {
   // a fused shape (the rest took the generic compiled op loop).
   uint64_t jit_packets = 0;
   uint64_t jit_fused_packets = 0;
+  // Burst-schedule counters mirrored from the compiled executors' ExecStats
+  // (compile/executor.h) at window fences: runs that took the three-phase
+  // schedule, digest lanes batch-hashed / saved by hash-CSE, and state-bank
+  // prefetch hints issued.
+  uint64_t jit_planned_runs = 0;
+  uint64_t jit_hash_lanes = 0;
+  uint64_t jit_hash_cse_lanes = 0;
+  uint64_t jit_prefetch_issued = 0;
 };
 
 // One demux->worker queue item: a packet, a window fence, a stop token, or
@@ -78,9 +86,12 @@ class ShardWorker {
   // deferred half of load_replica(..., false)).  Demux thread, quiesced.
   void relower_chains();
 
-  // Enable/disable chain compilation for subsequent replica loads
-  // (RuntimeOptions::jit / NEWTON_NO_JIT).  Defaults to on.
-  void set_jit(bool on) { jit_on_ = on; }
+  // Executor options for subsequent replica loads: chain compilation
+  // on/off (RuntimeOptions::jit / NEWTON_NO_JIT), hash-CSE, prefetch
+  // distance (RuntimeOptions::prefetch_distance / NEWTON_NO_PREFETCH).
+  void set_exec_options(const compile::ExecOptions& opts) {
+    exec_opts_ = opts;
+  }
 
   // Compiled-chain coverage of the current replica (demux thread, worker
   // quiesced) — feeds the runtime's per-query compiled/interpreted gauge.
@@ -130,13 +141,14 @@ class ShardWorker {
  private:
   void run();
   void process_batch(const WorkItem* items, std::size_t n);
+  void sync_jit_stats();  // mirror ExecStats into stats_ (fence/exit path)
 
   std::size_t index_;
   std::size_t burst_;
   SpscRing<WorkItem> ring_;
   Pipeline pipeline_{0};
   compile::CompiledPipeline jit_;
-  bool jit_on_ = true;
+  compile::ExecOptions exec_opts_;
   std::shared_ptr<InitModule> init_;
   std::vector<SModule*> s_by_stage_;  // typed views into the replica
   std::vector<RModule*> r_mods_;

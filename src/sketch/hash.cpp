@@ -1,5 +1,6 @@
 #include "sketch/hash.h"
 
+#include <algorithm>
 #include <array>
 
 namespace newton {
@@ -56,6 +57,51 @@ uint64_t splitmix64(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
+}
+
+// Seed-keyed multiplicative finalizer shared by hash_words and the
+// multi-lane path (see the affinity note in hash_words).
+inline uint32_t words_finalize(uint32_t h, uint32_t seed) {
+  uint64_t x = (uint64_t{h} << 32) ^ (seed * 0x9E3779B9ull + 0x7F4A7C15ull);
+  x = splitmix64(x);
+  return static_cast<uint32_t>(x ^ (x >> 32));
+}
+
+// Multi-lane CRC word absorption: four independent accumulator chains per
+// block, so the four serially-dependent table-lookup chains issue in
+// parallel.  Each lane's math is exactly hash_words' per-word chaining.
+void crc_words_lanes(const std::array<std::array<uint32_t, 256>, 4>& t,
+                     uint32_t seed, const uint32_t* base, std::size_t nwords,
+                     std::size_t stride, std::size_t lanes,
+                     const uint32_t* masks, uint32_t* out) {
+  std::size_t l = 0;
+  for (; l + 4 <= lanes; l += 4) {
+    const uint32_t* p0 = base + (l + 0) * stride;
+    const uint32_t* p1 = base + (l + 1) * stride;
+    const uint32_t* p2 = base + (l + 2) * stride;
+    const uint32_t* p3 = base + (l + 3) * stride;
+    uint32_t h0 = seed, h1 = seed, h2 = seed, h3 = seed;
+    for (std::size_t j = 0; j < nwords; ++j) {
+      const uint32_t m = masks == nullptr ? 0xffffffffu : masks[j];
+      h0 = crc_word(t, h0 ^ 0x5bd1e995u, p0[j] & m);
+      h1 = crc_word(t, h1 ^ 0x5bd1e995u, p1[j] & m);
+      h2 = crc_word(t, h2 ^ 0x5bd1e995u, p2[j] & m);
+      h3 = crc_word(t, h3 ^ 0x5bd1e995u, p3[j] & m);
+    }
+    out[l + 0] = words_finalize(h0, seed);
+    out[l + 1] = words_finalize(h1, seed);
+    out[l + 2] = words_finalize(h2, seed);
+    out[l + 3] = words_finalize(h3, seed);
+  }
+  for (; l < lanes; ++l) {
+    const uint32_t* p = base + l * stride;
+    uint32_t h = seed;
+    for (std::size_t j = 0; j < nwords; ++j) {
+      const uint32_t m = masks == nullptr ? 0xffffffffu : masks[j];
+      h = crc_word(t, h ^ 0x5bd1e995u, p[j] & m);
+    }
+    out[l] = words_finalize(h, seed);
+  }
 }
 
 }  // namespace
@@ -121,9 +167,42 @@ uint32_t hash_words(HashAlgo algo, uint32_t seed,
   // min over rows degenerates to one row).  Hardware uses a DIFFERENT
   // polynomial per row; we model that with a seed-keyed multiplicative
   // finalizer, which breaks the affinity.
-  uint64_t x = (uint64_t{h} << 32) ^ (seed * 0x9E3779B9ull + 0x7F4A7C15ull);
-  x = splitmix64(x);
-  return static_cast<uint32_t>(x ^ (x >> 32));
+  return words_finalize(h, seed);
+}
+
+void hash_words_lanes(HashAlgo algo, uint32_t seed, const uint32_t* base,
+                      std::size_t nwords, std::size_t stride_words,
+                      std::size_t lanes, const uint32_t* masks,
+                      uint32_t* out) {
+  switch (algo) {
+    case HashAlgo::Crc32:
+      crc_words_lanes(kCrc32Slices, seed, base, nwords, stride_words, lanes,
+                      masks, out);
+      return;
+    case HashAlgo::Crc32c:
+      crc_words_lanes(kCrc32cSlices, seed, base, nwords, stride_words, lanes,
+                      masks, out);
+      return;
+    case HashAlgo::Identity:
+      for (std::size_t l = 0; l < lanes; ++l)
+        out[l] = nwords == 0 ? 0
+                             : base[l * stride_words] &
+                                   (masks == nullptr ? 0xffffffffu : masks[0]);
+      return;
+    case HashAlgo::Mix64:
+      break;
+  }
+  // Mix64 keys per-byte state through splitmix64 — no profitable lane
+  // interleave; delegate to the scalar path on a masked stack copy.  Keys
+  // are operation-key spans (kNumFields words), far under the buffer.
+  std::array<uint32_t, 64> tmp;
+  const std::size_t n = std::min(nwords, tmp.size());
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const uint32_t* p = base + l * stride_words;
+    for (std::size_t j = 0; j < n; ++j)
+      tmp[j] = p[j] & (masks == nullptr ? 0xffffffffu : masks[j]);
+    out[l] = hash_words(algo, seed, std::span<const uint32_t>(tmp.data(), n));
+  }
 }
 
 }  // namespace newton

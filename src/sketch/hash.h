@@ -29,4 +29,22 @@ uint32_t hash_u32(HashAlgo algo, uint32_t seed, uint32_t value);
 uint32_t hash_words(HashAlgo algo, uint32_t seed,
                     std::span<const uint32_t> words);
 
+// Multi-lane batched hashing (the compiled executors' hash phase).  For
+// each lane l in [0, lanes) computes
+//
+//     out[l] = hash_words(algo, seed, masked(base + l*stride_words))
+//
+// where masked(p) is the nwords-long key {p[0] & masks[0], ...}; masks ==
+// nullptr hashes the words unmasked.  Bit-identical to calling hash_words
+// on each lane's masked key.  `stride_words` lets the lanes live either in
+// contiguous SoA key rows (stride == nwords) or strided inside an array of
+// larger records (e.g. PHV packet fields).  The CRC paths interleave four
+// independent lanes so the per-word table-lookup chains overlap in the
+// load ports instead of serializing — single-lane CRC is latency-bound,
+// not throughput-bound.
+void hash_words_lanes(HashAlgo algo, uint32_t seed, const uint32_t* base,
+                      std::size_t nwords, std::size_t stride_words,
+                      std::size_t lanes, const uint32_t* masks,
+                      uint32_t* out);
+
 }  // namespace newton

@@ -2,6 +2,8 @@
 // pipeline resource accounting, rule-latency model.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dataplane/match_table.h"
 #include "dataplane/pipeline.h"
 #include "dataplane/register_array.h"
@@ -140,6 +142,65 @@ TEST(RegisterArray, MergeRangeTouchesOnlyTheSegment) {
   EXPECT_EQ(a.read(7), 2u);
   RegisterArray small(4);
   EXPECT_THROW(a.merge_from(small, MergeOp::Add), std::invalid_argument);
+}
+
+// Clamp semantics for the range operations, pinned edge by edge: callers
+// (query slice allocation, shard fold) size ranges optimistically and rely
+// on out-of-range tails degrading to no-ops rather than throwing or — the
+// historical bug — wrapping when offset + width overflows size_t.
+TEST(RegisterArray, RangeClampEdges) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  RegisterArray a(4), b(4);
+  for (std::size_t i = 0; i < 4; ++i) b.execute(SaluOp::Add, i, 5);
+
+  // offset exactly at the end: no-op, not a throw.
+  a.merge_range_from(b, /*offset=*/4, /*width=*/2, MergeOp::Add);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a.read(i), 0u);
+  // offset far past the end: also a no-op.
+  a.merge_range_from(b, /*offset=*/100, /*width=*/1, MergeOp::Add);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a.read(i), 0u);
+  // width == 0: merges nothing even at a valid offset.
+  a.merge_range_from(b, /*offset=*/1, /*width=*/0, MergeOp::Add);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a.read(i), 0u);
+  // offset + width overflowing size_t must clamp to the tail, not wrap to
+  // an empty (or worse, arbitrary) range.
+  a.merge_range_from(b, /*offset=*/2, /*width=*/kMax, MergeOp::Add);
+  EXPECT_EQ(a.read(0), 0u);
+  EXPECT_EQ(a.read(1), 0u);
+  EXPECT_EQ(a.read(2), 5u);
+  EXPECT_EQ(a.read(3), 5u);
+
+  // Same clamps for clear_range.
+  RegisterArray c(4);
+  for (std::size_t i = 0; i < 4; ++i) c.execute(SaluOp::Add, i, 7);
+  c.clear_range(/*offset=*/4, /*width=*/kMax);  // at end: no-op
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(c.read(i), 7u);
+  c.clear_range(/*offset=*/1, /*width=*/0);  // zero width: no-op
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(c.read(i), 7u);
+  c.clear_range(/*offset=*/3, /*width=*/kMax);  // overflow: clamp to tail
+  EXPECT_EQ(c.read(2), 7u);
+  EXPECT_EQ(c.read(3), 0u);
+}
+
+// execute_unchecked is the compiled executors' hot-path twin of execute:
+// identical SALU semantics and return values on every op, it only sheds
+// the bounds check (indices are reduced modulo size() at lower time).
+TEST(RegisterArray, ExecuteUncheckedMatchesExecute) {
+  RegisterArray checked(8), unchecked(8);
+  const SaluOp ops[] = {SaluOp::Read, SaluOp::Add, SaluOp::Write, SaluOp::Or,
+                        SaluOp::Add, SaluOp::Or, SaluOp::Read, SaluOp::Write};
+  uint32_t x = 12345u;
+  for (int round = 0; round < 64; ++round) {
+    x = x * 1664525u + 1013904223u;
+    const std::size_t idx = x % 8;
+    const SaluOp op = ops[(x >> 8) % 8];
+    const uint32_t operand = x >> 16;
+    EXPECT_EQ(unchecked.execute_unchecked(op, idx, operand),
+              checked.execute(op, idx, operand))
+        << "round " << round;
+  }
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(unchecked.read(i), checked.read(i)) << "slot " << i;
 }
 
 TEST(Resources, ArithmeticAndNormalization) {
