@@ -96,8 +96,9 @@ int usage() {
                "       newton_tool replay --pcap FILE [--rate R|inf]\n"
                "                          [--shards N] [--detectors a,b|all]\n"
                "       newton_tool fuzz [--runs N] [--seconds S] [--seed S]\n"
-               "                        [--corpus DIR] [--out DIR]\n"
-               "                        [--replay FILE] [--churn] [--no-minimize] [-v]\n"
+               "                        [--corpus DIR] [--save-corpus DIR] [--out DIR]\n"
+               "                        [--replay FILE] [--churn] [--placement]\n"
+               "                        [--no-minimize] [-v]\n"
                "       (append --metrics to dump telemetry after any "
                "command)\n");
   return 2;
@@ -492,6 +493,10 @@ int cmd_fuzz(int argc, char** argv) {
       fo.out_dir = v;
     } else if (a == "--churn") {
       fo.force_churn = true;
+    } else if (a == "--placement") {
+      fo.force_placement = true;
+    } else if (a == "--save-corpus" && (v = next())) {
+      fo.save_corpus_dir = v;
     } else if (a == "--no-minimize") {
       fo.minimize = false;
     } else if (a == "--verbose" || a == "-v") {

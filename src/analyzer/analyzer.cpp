@@ -14,15 +14,19 @@ void Analyzer::register_qid_any(uint16_t qid, std::string query,
   qid_any_map_[qid] = {std::move(query), branch};
 }
 
+const std::pair<std::string, std::size_t>* Analyzer::owner_of(
+    uint32_t switch_id, uint16_t qid) const {
+  if (const auto it = qid_map_.find({switch_id, qid}); it != qid_map_.end())
+    return &it->second;
+  if (const auto it = qid_any_map_.find(qid); it != qid_any_map_.end())
+    return &it->second;
+  return nullptr;
+}
+
 void Analyzer::report(const ReportRecord& r) {
   ++total_reports_;
-  const std::pair<std::string, std::size_t>* target = nullptr;
-  if (const auto it = qid_map_.find({r.switch_id, r.qid});
-      it != qid_map_.end())
-    target = &it->second;
-  else if (const auto it2 = qid_any_map_.find(r.qid);
-           it2 != qid_any_map_.end())
-    target = &it2->second;
+  const std::pair<std::string, std::size_t>* target =
+      owner_of(r.switch_id, r.qid);
   if (target == nullptr) return;  // unregistered qid: count only
   ++per_query_reports_[target->first];
   BranchKeyed& bk = results_[*target];

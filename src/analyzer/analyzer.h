@@ -27,6 +27,13 @@ class Analyzer : public ReportSink {
 
   void report(const ReportRecord& r) override;
 
+  // Resolve which (query, branch) owns a (switch, qid) report — per-switch
+  // registrations first, then the any-switch map; null when unregistered.
+  // The aggregation tree (src/net/agg_tree.h) uses this to merge replica
+  // reports across switches whose local qids differ.
+  const std::pair<std::string, std::size_t>* owner_of(uint32_t switch_id,
+                                                      uint16_t qid) const;
+
   std::size_t total_reports() const { return total_reports_; }
   std::size_t reports_for(const std::string& query) const;
 

@@ -116,6 +116,10 @@ FuzzStats run_fuzzer(const FuzzOptions& opt) {
       s.churn_ops = 6 + scenario_seed % 11;
       s.churn_seed = static_cast<uint32_t>(1 + scenario_seed % 1'000'000);
     }
+    if (opt.force_placement && s.place_events == 0) {
+      s.place_events = 4 + scenario_seed % 9;
+      s.place_seed = static_cast<uint32_t>(1 + scenario_seed % 999'983);
+    }
 
     CheckOutcome out;
     bool threw = false;
@@ -170,6 +174,14 @@ FuzzStats run_fuzzer(const FuzzOptions& opt) {
 
   st.corpus = corpus.size();
   st.coverage_bits = cov.set_bits();
+  if (!opt.save_corpus_dir.empty()) {
+    std::filesystem::create_directories(opt.save_corpus_dir);
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+      corpus[i].save(opt.save_corpus_dir + "/corpus-" + std::to_string(i) +
+                     ".nds");
+    std::fprintf(stderr, "fuzz: saved %zu corpus seeds to %s\n",
+                 corpus.size(), opt.save_corpus_dir.c_str());
+  }
   return st;
 }
 

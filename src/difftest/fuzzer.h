@@ -34,6 +34,15 @@ struct FuzzOptions {
   // churn get a plan derived from their own id.  The CI churn job uses this
   // to guarantee every run exercises admission/rollback invariants.
   bool force_churn = false;
+  // Force the placement axis on every scenario (`newton_tool fuzz
+  // --placement`): scenarios without one get a churn plan derived from
+  // their own id, so every run replays incremental vs scratch re-placement
+  // with the equivalence oracle armed.  The CI fleet lane uses this.
+  bool force_placement = false;
+  // Optional: write the retained coverage corpus as *.nds files into this
+  // directory at campaign end (nightly runs publish it as an artifact so
+  // later campaigns start warm).
+  std::string save_corpus_dir;
 };
 
 struct FuzzStats {

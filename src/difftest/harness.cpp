@@ -361,6 +361,64 @@ ExecResult run_fault(const Scenario& s, const Trace& t, std::string& skip) {
   }
 }
 
+// Placement axis: the same resilient fat-tree deployment of query 0
+// replayed under a mixed link/switch churn plan, once per placement mode.
+// The incremental arm additionally arms the scratch-equivalence oracle
+// (every re-placement cross-checked against a full `place_resilient`
+// recompute; a mismatch throws std::logic_error).  Unlike the fault axis
+// this compares the two modes against EACH OTHER, so it needs no
+// single-slice or reduce-free restriction: whatever churn does to
+// coverage, it must do identically in both modes, byte for byte.
+ExecResult run_place_impl(const Scenario& s, const Trace& t,
+                          PlacementMode mode, uint64_t* scope_out,
+                          std::string& skip) {
+  Analyzer an;
+  Network net(make_fat_tree(4), kFaultStages, &an, bank_size(s));
+  net.set_window_ns(s.window_ns());
+  NetworkController ctl(net, &an, bank_size(s));
+  ctl.set_placement_mode(mode);
+  if (mode == PlacementMode::Incremental) ctl.set_verify_placement(true);
+  try {
+    ctl.deploy(s.queries[0], level(s.opt_level));
+  } catch (const std::logic_error&) {
+    throw;  // oracle divergence, not a capacity skip
+  } catch (const std::exception& e) {
+    skip = std::string("deploy infeasible: ") + e.what();
+    return {};
+  }
+  const FaultPlan plan = make_random_churn_plan(
+      net.topo(), s.place_seed, s.place_events, t.size(), t.size() / 6 + 1);
+  FaultInjector inj(net, plan, &ctl);
+  const auto hosts = net.topo().hosts();
+  for (std::size_t i = 0; i < t.packets.size(); ++i) {
+    inj.advance(i);
+    net.send(t.packets[i], static_cast<int>(hosts[src_of(i, hosts.size())]),
+             static_cast<int>(hosts[dst_of(i, hosts.size())]));
+  }
+  inj.finish();
+  for (int n : net.topo().switches())
+    if (net.has_switch(n)) net.sw(n).flush_telemetry();
+  if (scope_out) *scope_out = ctl.fault_stats().replace_scope_switches;
+  return collect(an, s, max_window(t, s.window_ns()), 0);
+}
+
+// std::logic_error (the placement oracle) is a real divergence; anything
+// else (capacity, slicing) skips the axis like the other network axes.
+ExecResult run_place(const Scenario& s, const Trace& t, PlacementMode mode,
+                     uint64_t* scope_out, std::string& skip,
+                     std::vector<Divergence>& divs) {
+  try {
+    return run_place_impl(s, t, mode, scope_out, skip);
+  } catch (const std::logic_error& e) {
+    divs.push_back({"place-inc-vs-scratch",
+                    std::string("placement oracle: ") + e.what()});
+    return {};
+  } catch (const std::exception& e) {
+    skip = std::string("exception: ") + e.what();
+    return {};
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Churn executor: single switch with admission-invariant assertions
 // ---------------------------------------------------------------------------
@@ -816,6 +874,34 @@ CheckOutcome check_scenario(const Scenario& s) {
       o.axes.push_back({"fault-vs-o0", true, ""});
     } else {
       o.axes.push_back({"fault-vs-o0", false, skip});
+    }
+  }
+
+  if (s.place_events > 0) {
+    std::string skip;
+    uint64_t scope_scr = 0, scope_inc = 0;
+    const std::size_t before = o.divergences.size();
+    const ExecResult scr = run_place(s, t, PlacementMode::Scratch,
+                                     &scope_scr, skip, o.divergences);
+    ExecResult inc;
+    if (skip.empty() && o.divergences.size() == before)
+      inc = run_place(s, t, PlacementMode::Incremental, &scope_inc, skip,
+                      o.divergences);
+    if (!skip.empty()) {
+      o.axes.push_back({"place-inc-vs-scratch", false, skip});
+    } else {
+      if (o.divergences.size() == before) {
+        diff_exact(inc, scr, "place-inc-vs-scratch", 0, o.divergences);
+        // Scratch re-evaluates every live switch per event; incremental
+        // must never relax a wider scope than that.
+        if (scope_inc > scope_scr)
+          o.divergences.push_back(
+              {"place-inc-vs-scratch",
+               "incremental re-placement scope " + std::to_string(scope_inc) +
+                   " switches exceeds the scratch baseline " +
+                   std::to_string(scope_scr)});
+      }
+      o.axes.push_back({"place-inc-vs-scratch", true, ""});
     }
   }
   return o;

@@ -1,4 +1,4 @@
-// Differential execution harness: runs one Scenario through up to eight
+// Differential execution harness: runs one Scenario through up to ten
 // executions and cross-checks their per-window report keysets
 // (docs/difftest.md):
 //
@@ -10,6 +10,9 @@
 //   rtN    sharded runtime, N shards                       [exact vs rt1]
 //   cqe    multi-switch line, CQE-sliced query 0           [exact vs o0]
 //   fault  fat-tree + link-failure plan, query 0           [exact vs o0]
+//   place  fat-tree + mixed churn plan, incremental vs
+//          scratch re-placement, oracle armed              [exact vs each
+//                                                           other]
 //
 // The jit axis pins the compiled per-query executors (src/compile/,
 // docs/compile.md) against the interpreter on reports and merged state.

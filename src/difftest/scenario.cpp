@@ -140,6 +140,8 @@ std::string Scenario::serialize() const {
   // unchanged.
   if (churn_ops > 0)
     os << "churn ops=" << churn_ops << " seed=" << churn_seed << "\n";
+  if (place_events > 0)
+    os << "place events=" << place_events << " seed=" << place_seed << "\n";
   os << "trace " << trace.profile << " flows=" << trace.flows
      << " seed=" << trace.seed << "\n";
   for (const InjectionSpec& i : trace.injections)
@@ -222,6 +224,9 @@ Scenario Scenario::parse(const std::string& text) {
     } else if (word == "churn") {
       s.churn_ops = kv(toks, "ops", no, line);
       s.churn_seed = static_cast<uint32_t>(kv(toks, "seed", no, line));
+    } else if (word == "place") {
+      s.place_events = kv(toks, "events", no, line);
+      s.place_seed = static_cast<uint32_t>(kv(toks, "seed", no, line));
     } else if (word == "trace") {
       s.trace.profile = toks.at(1);
       s.trace.flows = kv(toks, "flows", no, line);
@@ -507,6 +512,8 @@ void normalize(Scenario& s) {
   s.opt_level = std::clamp(s.opt_level, 1, 3);
   if (s.churn_ops > 0)
     s.churn_ops = std::clamp<std::size_t>(s.churn_ops, 1, 64);
+  if (s.place_events > 0)
+    s.place_events = std::clamp<std::size_t>(s.place_events, 1, 16);
 
   // Fault axis preconditions: query 0 reduce-free (report equivalence under
   // reroute is only an invariant for stateless/distinct exporters) and no
@@ -665,6 +672,12 @@ Scenario generate_scenario(uint64_t seed) {
     s.churn_ops = rnd(rng, 6, 16);
     s.churn_seed = static_cast<uint32_t>(rnd(rng, 1, 1'000'000));
   }
+  // Placement axis on ~1/4 of scenarios (also drawn after the pre-existing
+  // fields, preserving their rng stream).
+  if (rng() % 4 == 0) {
+    s.place_events = rnd(rng, 4, 12);
+    s.place_seed = static_cast<uint32_t>(rnd(rng, 1, 1'000'000));
+  }
   normalize(s);
   return s;
 }
@@ -674,7 +687,7 @@ Scenario mutate_scenario(const Scenario& base, std::mt19937_64& rng) {
   s.id = rng();
   const std::size_t n_mut = rnd(rng, 1, 2);
   for (std::size_t m = 0; m < n_mut; ++m) {
-    switch (rng() % 13) {
+    switch (rng() % 14) {
       case 0: s.window_ms = pick<uint64_t>(rng, {50, 100, 200}); break;
       case 1: s.opt_level = static_cast<int>(rnd(rng, 1, 3)); break;
       case 2:
@@ -733,6 +746,14 @@ Scenario mutate_scenario(const Scenario& base, std::mt19937_64& rng) {
         } else {
           s.churn_ops = rnd(rng, 6, 16);
           s.churn_seed = static_cast<uint32_t>(rnd(rng, 1, 1'000'000));
+        }
+        break;
+      case 12:  // toggle the placement axis
+        if (s.place_events > 0) {
+          s.place_events = 0;
+        } else {
+          s.place_events = rnd(rng, 4, 12);
+          s.place_seed = static_cast<uint32_t>(rnd(rng, 1, 1'000'000));
         }
         break;
       default: {  // nudge a when-threshold

@@ -91,6 +91,13 @@ struct Scenario {
   // the churn-free baseline.  0 = axis off.
   std::size_t churn_ops = 0;
   uint32_t churn_seed = 1;
+  // Placement axis (docs/fleet.md): when > 0 the harness replays query 0 on
+  // the fat-tree under a mixed link/switch churn plan twice — once with
+  // scratch full-recompute placement, once with incremental re-placement
+  // plus the built-in scratch-equivalence oracle — and asserts the two runs
+  // report byte-identically.  0 = axis off.
+  std::size_t place_events = 0;
+  uint32_t place_seed = 1;
 
   uint64_t window_ns() const { return window_ms * 1'000'000ull; }
 

@@ -41,6 +41,17 @@ FaultPlan make_random_link_plan(const Topology& t, uint32_t seed,
                                 uint64_t horizon_packets,
                                 uint64_t repair_after);
 
+// Mixed churn plan for the re-placement machinery: each of `n_events`
+// draws is either an inter-switch link flap or a whole-switch
+// death+restore (roughly 1-in-3 switch events), with the same
+// sim-forward, connectivity-preserving candidate walk as
+// `make_random_link_plan`.  The difftest `place` axis and `bench_fleet`
+// replay these against incremental and scratch re-placement.
+FaultPlan make_random_churn_plan(const Topology& t, uint32_t seed,
+                                 std::size_t n_events,
+                                 uint64_t horizon_packets,
+                                 uint64_t repair_after);
+
 // True when every host can reach every other host over live elements.
 bool all_hosts_connected(const Topology& t);
 

@@ -48,9 +48,11 @@ void FaultInjector::apply(const FaultEvent& e) {
   switch (e.kind) {
     case FaultEvent::Kind::LinkDown:
       t.fail_link(e.a, e.b);
+      if (ctl_) ctl_->on_link_failed(e.a, e.b);
       break;
     case FaultEvent::Kind::LinkUp:
       t.restore_link(e.a, e.b);
+      if (ctl_) ctl_->on_link_restored(e.a, e.b);
       break;
     case FaultEvent::Kind::SwitchDown:
       t.fail_node(e.a);

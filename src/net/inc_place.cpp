@@ -1,0 +1,134 @@
+#include "net/inc_place.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace newton {
+
+IncrementalPlacer::IncrementalPlacer(const Topology* t,
+                                     std::vector<int> ingress_edges,
+                                     std::size_t num_slices)
+    : t_(t),
+      ingress_(std::move(ingress_edges)),
+      ingress_set_(ingress_.begin(), ingress_.end()),
+      num_slices_(num_slices) {
+  if (num_slices_ > kMaxSlices)
+    throw std::invalid_argument("IncrementalPlacer: query slices exceed " +
+                                std::to_string(kMaxSlices));
+  full_mask_ = num_slices_ == 0
+                   ? 0
+                   : (num_slices_ == kMaxSlices
+                          ? ~uint64_t{0}
+                          : ((uint64_t{1} << num_slices_) - 1));
+  mask_.assign(t_->nodes.size(), 0);
+  recompute();
+}
+
+uint64_t IncrementalPlacer::eval(int s) const {
+  if (!t_->is_switch(s) || !t_->node_up(s)) return 0;
+  uint64_t m = ingress_set_.contains(s) ? 1 : 0;
+  for (int n : t_->neighbors(s)) {
+    if (!t_->is_switch(n)) continue;
+    m |= mask_[static_cast<std::size_t>(n)] << 1;
+  }
+  return m & full_mask_;
+}
+
+void IncrementalPlacer::relax(std::vector<int> seeds) {
+  // Chaotic iteration over the fixpoint equation.  Correctness does not
+  // depend on evaluation order (the equation is stratified by bit index);
+  // a FIFO worklist keeps the walk breadth-first so each switch is
+  // typically evaluated O(1) times per event.
+  std::deque<int> work(seeds.begin(), seeds.end());
+  std::vector<char> queued(mask_.size(), 0);
+  std::vector<char> visited(mask_.size(), 0);
+  std::vector<char> moved(mask_.size(), 0);
+  for (int s : work) queued[static_cast<std::size_t>(s)] = 1;
+  std::size_t scope = 0;
+  while (!work.empty()) {
+    const int s = work.front();
+    work.pop_front();
+    const auto si = static_cast<std::size_t>(s);
+    queued[si] = 0;
+    if (!visited[si]) {
+      visited[si] = 1;
+      ++scope;
+    }
+    const uint64_t v = eval(s);
+    if (v == mask_[si]) continue;
+    mask_[si] = v;
+    moved[si] = 1;
+    // Only nodes that read mask_[s] — live switch neighbors — can move.
+    for (int n : t_->neighbors(s)) {
+      if (!t_->is_switch(n)) continue;
+      const auto ni = static_cast<std::size_t>(n);
+      if (!queued[ni]) {
+        queued[ni] = 1;
+        work.push_back(n);
+      }
+    }
+  }
+  last_scope_ = scope;
+  changed_.clear();
+  for (std::size_t i = 0; i < moved.size(); ++i)
+    if (moved[i]) changed_.push_back(static_cast<int>(i));
+}
+
+void IncrementalPlacer::recompute() {
+  std::vector<int> all;
+  for (std::size_t i = 0; i < mask_.size(); ++i)
+    if (t_->is_switch(static_cast<int>(i))) {
+      mask_[i] = 0;
+      all.push_back(static_cast<int>(i));
+    }
+  relax(std::move(all));
+}
+
+void IncrementalPlacer::on_link_event(int a, int b) {
+  std::vector<int> seeds;
+  for (int s : {a, b})
+    if (s >= 0 && static_cast<std::size_t>(s) < mask_.size() &&
+        t_->is_switch(s))
+      seeds.push_back(s);
+  relax(std::move(seeds));
+}
+
+void IncrementalPlacer::on_switch_event(int n) {
+  if (n < 0 || static_cast<std::size_t>(n) >= mask_.size()) {
+    changed_.clear();
+    last_scope_ = 0;
+    return;
+  }
+  // Raw adjacency, not live neighbors: when `n` just died its links are
+  // down, but the neighbors' old masks may still carry contributions that
+  // flowed through `n` and must be re-evaluated.
+  std::vector<int> seeds;
+  if (t_->is_switch(n)) seeds.push_back(n);
+  for (int m : t_->adj.at(static_cast<std::size_t>(n)))
+    if (t_->is_switch(m)) seeds.push_back(m);
+  relax(std::move(seeds));
+}
+
+Placement IncrementalPlacer::placement() const {
+  Placement p;
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    uint64_t m = mask_[i];
+    if (m == 0) continue;
+    auto& slot = p.assignment[static_cast<int>(i)];
+    for (std::size_t d = 0; m != 0; ++d, m >>= 1)
+      if (m & 1) slot.push_back(d);
+  }
+  return p;
+}
+
+std::vector<std::size_t> IncrementalPlacer::slices_at(int s) const {
+  std::vector<std::size_t> out;
+  if (s < 0 || static_cast<std::size_t>(s) >= mask_.size()) return out;
+  uint64_t m = mask_[static_cast<std::size_t>(s)];
+  for (std::size_t d = 0; m != 0; ++d, m >>= 1)
+    if (m & 1) out.push_back(d);
+  return out;
+}
+
+}  // namespace newton

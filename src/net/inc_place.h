@@ -1,0 +1,91 @@
+// Incremental Algorithm 2 placement (ROADMAP item 4).
+//
+// `place_resilient` recomputes the full layered-BFS reachability of the
+// fabric on every topology event — O(switches * slices) set operations per
+// churn event, which at fleet scale (1–4k switches) dwarfs the actual
+// install/withdraw delta.  IncrementalPlacer maintains the same fixpoint as
+// a per-switch depth bitmask and relaxes only the subtree a churn event can
+// actually reach:
+//
+//   mask[s] = 0                                 if s is not a live switch
+//   mask[s] = (ingress(s) | OR_{n in live switch neighbors(s)} mask[n] << 1)
+//             & ((1 << num_slices) - 1)         otherwise
+//
+// Bit d-1 of mask[s] is set iff s is reachable in d-1 hops from a live
+// ingress edge switch — exactly the (switch, depth) pairs `place_resilient`
+// walks, so materializing the set bits reproduces its Placement verbatim.
+// The equation is stratified by bit index (bit d depends only on the
+// neighbors' bit d-1, bit 0 only on liveness + ingress membership), so
+// worklist relaxation from the event's endpoints converges to the unique
+// global fixpoint no matter the evaluation order; each relaxation touches
+// only switches whose reachability the event could have changed.
+//
+// Every run can be cross-checked against the scratch oracle via
+// `NetworkController::set_verify_placement(true)` and the difftest
+// `place` axis (docs/fleet.md).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/placement.h"
+#include "net/topology.h"
+
+namespace newton {
+
+class IncrementalPlacer {
+ public:
+  // One bit per slice: queries whose CQE chains exceed this fall back to
+  // scratch re-placement in the controller (none do in practice — the
+  // deepest standard chain slices to ~6).
+  static constexpr std::size_t kMaxSlices = 64;
+
+  IncrementalPlacer() = default;
+  // `t` is borrowed and must outlive the placer; the node set must not
+  // grow after construction (fail/restore events only).
+  IncrementalPlacer(const Topology* t, std::vector<int> ingress_edges,
+                    std::size_t num_slices);
+
+  // Full fixpoint from scratch (construction, or resync after an
+  // unobserved topology change).  Counts as a whole-fabric event for the
+  // scope accounting.
+  void recompute();
+
+  // Notify the placer AFTER the topology mutated.  Each call relaxes the
+  // affected subtree and updates the scope/changed accounting.
+  void on_link_event(int a, int b);
+  void on_switch_event(int n);
+
+  // Materialize the masks into Algorithm 2's Placement (byte-identical to
+  // `place_resilient` on the current topology).
+  Placement placement() const;
+  // Slice indices currently assigned to one switch (ascending).
+  std::vector<std::size_t> slices_at(int s) const;
+
+  // Switches whose assignment changed in the last event (ascending) — the
+  // controller's delta application only needs to look at these.
+  const std::vector<int>& last_changed_switches() const { return changed_; }
+  // Switches re-evaluated by the last event (the re-placement "scope" the
+  // fleet bench gates on) and the number whose mask actually moved.
+  std::size_t last_scope() const { return last_scope_; }
+  std::size_t last_changed() const { return changed_.size(); }
+
+  std::size_t num_slices() const { return num_slices_; }
+  const std::vector<int>& ingress() const { return ingress_; }
+
+ private:
+  uint64_t eval(int s) const;
+  void relax(std::vector<int> seeds);
+
+  const Topology* t_ = nullptr;
+  std::vector<int> ingress_;
+  std::set<int> ingress_set_;
+  std::size_t num_slices_ = 0;
+  uint64_t full_mask_ = 0;
+  std::vector<uint64_t> mask_;
+  std::vector<int> changed_;
+  std::size_t last_scope_ = 0;
+};
+
+}  // namespace newton

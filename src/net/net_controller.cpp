@@ -1,6 +1,7 @@
 #include "net/net_controller.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -17,6 +18,9 @@ struct FaultCounters {
   telemetry::Counter& delta_installs;
   telemetry::Counter& delta_withdrawals;
   telemetry::Counter& failed_permanent;
+  telemetry::Counter& replace_events;
+  telemetry::Counter& replace_scope;
+  telemetry::Counter& replace_changed;
   telemetry::Gauge& degraded;
 
   static FaultCounters& get() {
@@ -37,6 +41,15 @@ struct FaultCounters {
         reg.counter("newton_net_installs_failed_permanent_total",
                     "Installs that exhausted their retry budget and were "
                     "terminally rolled back (FAILED_PERMANENT)"),
+        reg.counter("newton_place_events_total",
+                    "Re-placement episodes (one per churn event per "
+                    "resilient deployment)"),
+        reg.counter("newton_place_scope_switches_total",
+                    "Switches re-evaluated by re-placement (incremental: "
+                    "the relaxed subtree; scratch: every live switch)"),
+        reg.counter("newton_place_changed_switches_total",
+                    "Switches whose slice assignment actually moved "
+                    "(incremental mode)"),
         reg.gauge("newton_net_degraded_deployments",
                   "Deployments currently running with partial coverage")};
     return c;
@@ -163,8 +176,23 @@ const NetworkController::Deployment& NetworkController::deploy(
   resolve_slice_offsets(slices, central_alloc_);
 
   if (ingress_edges.empty()) ingress_edges = net_.topo().edge_switches();
-  Placement placement =
-      place_resilient(net_.topo(), ingress_edges, slices.size());
+  std::optional<IncrementalPlacer> placer;
+  Placement placement;
+  if (mode_ == PlacementMode::Incremental &&
+      slices.size() <= IncrementalPlacer::kMaxSlices) {
+    placer.emplace(&net_.topo(), ingress_edges, slices.size());
+    placement = placer->placement();
+    if (verify_placement_ &&
+        placement.assignment !=
+            place_resilient(net_.topo(), ingress_edges, slices.size())
+                .assignment)
+      throw std::logic_error(
+          "incremental placement diverged from the scratch oracle at "
+          "deploy of '" +
+          q.name + "'");
+  } else {
+    placement = place_resilient(net_.topo(), ingress_edges, slices.size());
+  }
 
   Deployment d;
   d.query = q.name;
@@ -190,7 +218,9 @@ const NetworkController::Deployment& NetworkController::deploy(
     rollback(d);
     throw;
   }
-  // Phase 2 (commit): the placement is complete; publish it.
+  // Phase 2 (commit): the placement is complete; publish it (and the
+  // placer state that tracks it incrementally from here on).
+  if (placer) placers_.insert_or_assign(q.name, std::move(*placer));
   return deployments_[q.name] = std::move(d);
 }
 
@@ -272,6 +302,7 @@ void NetworkController::withdraw(const std::string& name) {
   for (const auto& [sw_node, handles] : it->second.orphaned)
     for (uint64_t h : handles) net_.sw(sw_node).remove(h);
   free_central(it->second);
+  placers_.erase(name);
   deployments_.erase(it);
   FaultCounters::get().degraded.set(static_cast<int64_t>(std::count_if(
       deployments_.begin(), deployments_.end(),
@@ -299,9 +330,9 @@ void NetworkController::refresh_degraded(Deployment& d) {
       [](const auto& kv) { return kv.second.degraded; })));
 }
 
-void NetworkController::reconcile(Deployment& d) {
-  // Algorithm 2 on the surviving topology, then diff against what is
-  // installed: only the delta touches switches.
+void NetworkController::reconcile(Deployment& d, bool allow_withdraw) {
+  // Algorithm 2 from scratch on the surviving topology, then diff against
+  // what is installed: only the delta touches switches.
   // Each reconciliation episode gets a fresh retry budget: a deployment
   // that went FAILED_PERMANENT during a churn storm must still be able to
   // heal once the fabric calms down.
@@ -312,33 +343,179 @@ void NetworkController::reconcile(Deployment& d) {
   const Placement fresh =
       place_resilient(net_.topo(), ingress, d.slices.size());
 
-  // Delta withdrawals: slices no longer needed on a live switch.
+  // Delta withdrawals: slices no longer needed on a live switch.  Link
+  // events (allow_withdraw == false) only RECORD the staleness: the
+  // replica's sketch state must survive a transient link flap, and the
+  // next switch event sweeps whatever is still unplaced then.
   for (const auto& [sw_node, slice_idxs] : d.placement.assignment) {
     if (!net_.has_switch(sw_node) || !net_.topo().node_up(sw_node)) continue;
     for (std::size_t si : slice_idxs) {
-      if (fresh.has(sw_node, si)) continue;
+      if (fresh.has(sw_node, si)) {
+        d.stale_extras.erase({sw_node, si});
+        continue;
+      }
+      if (!allow_withdraw) {
+        d.stale_extras.insert({sw_node, si});
+        continue;
+      }
       remove_slice_handle(d, sw_node, si);
+      d.stale_extras.erase({sw_node, si});
+      d.install_holes.erase({sw_node, si});
       ++fault_stats_.delta_withdrawals;
       FaultCounters::get().delta_withdrawals.add();
     }
   }
-  // Delta installs: slices the new placement adds.
+  // Delta installs: slices the new placement adds (this also retries any
+  // hole a previous reconciliation's failed install left behind).
   for (const auto& [sw_node, slice_idxs] : fresh.assignment) {
     if (!net_.has_switch(sw_node)) continue;
     for (std::size_t si : slice_idxs) {
       const auto it = d.by_slice.find(sw_node);
-      if (it != d.by_slice.end() && it->second.contains(si)) continue;
+      if (it != d.by_slice.end() && it->second.contains(si)) {
+        d.install_holes.erase({sw_node, si});
+        continue;
+      }
       try {
         install_one_slice(d, sw_node, si);
+        d.install_holes.erase({sw_node, si});
         ++fault_stats_.delta_installs;
         FaultCounters::get().delta_installs.add();
       } catch (const std::exception&) {
         // Leave the hole: the deployment stays degraded, a later
         // reconciliation retries.
+        d.install_holes.insert({sw_node, si});
       }
     }
   }
-  d.placement = fresh;
+  if (allow_withdraw) {
+    d.placement = fresh;
+  } else {
+    // Grow-only publish: the placement keeps the stale extras (they are
+    // still installed) and gains whatever the fresh placement added.
+    for (const auto& [sw_node, slice_idxs] : fresh.assignment) {
+      auto& slot = d.placement.assignment[sw_node];
+      for (std::size_t si : slice_idxs)
+        if (std::find(slot.begin(), slot.end(), si) == slot.end())
+          slot.push_back(si);
+      std::sort(slot.begin(), slot.end());
+    }
+  }
+}
+
+void NetworkController::reconcile_incremental(Deployment& d,
+                                              IncrementalPlacer& p,
+                                              bool allow_withdraw) {
+  // Same delta policy as the scratch `reconcile`, but only the switches
+  // the placer's relaxation actually moved — plus any switch carrying an
+  // unhealed install hole or (at switch events) a stale extra — are
+  // examined.  Everything else is untouched by construction: an unchanged
+  // mask means the fresh placement equals the published one there.
+  d.retries_used = 0;
+  std::set<int> targets(p.last_changed_switches().begin(),
+                        p.last_changed_switches().end());
+  for (const auto& [sw_node, si] : d.install_holes) targets.insert(sw_node);
+  if (allow_withdraw)
+    for (const auto& [sw_node, si] : d.stale_extras) targets.insert(sw_node);
+
+  for (int sw_node : targets) {  // pass 1: withdrawals / staleness tracking
+    if (!net_.has_switch(sw_node) || !net_.topo().node_up(sw_node)) continue;
+    const auto it = d.placement.assignment.find(sw_node);
+    if (it == d.placement.assignment.end()) continue;
+    const std::vector<std::size_t> fresh = p.slices_at(sw_node);
+    for (std::size_t si : it->second) {
+      if (std::binary_search(fresh.begin(), fresh.end(), si)) {
+        d.stale_extras.erase({sw_node, si});
+        continue;
+      }
+      if (!allow_withdraw) {
+        d.stale_extras.insert({sw_node, si});
+        continue;
+      }
+      remove_slice_handle(d, sw_node, si);
+      d.stale_extras.erase({sw_node, si});
+      d.install_holes.erase({sw_node, si});
+      ++fault_stats_.delta_withdrawals;
+      FaultCounters::get().delta_withdrawals.add();
+    }
+  }
+  for (int sw_node : targets) {  // pass 2: delta installs / hole healing
+    if (!net_.has_switch(sw_node)) continue;
+    for (std::size_t si : p.slices_at(sw_node)) {
+      const auto it = d.by_slice.find(sw_node);
+      if (it != d.by_slice.end() && it->second.contains(si)) {
+        d.install_holes.erase({sw_node, si});
+        continue;
+      }
+      try {
+        install_one_slice(d, sw_node, si);
+        d.install_holes.erase({sw_node, si});
+        ++fault_stats_.delta_installs;
+        FaultCounters::get().delta_installs.add();
+      } catch (const std::exception&) {
+        d.install_holes.insert({sw_node, si});
+      }
+    }
+  }
+  for (int sw_node : targets) {  // pass 3: refresh the published placement
+    std::vector<std::size_t> fresh = p.slices_at(sw_node);
+    if (allow_withdraw) {
+      if (fresh.empty())
+        d.placement.assignment.erase(sw_node);
+      else
+        d.placement.assignment[sw_node] = std::move(fresh);
+    } else if (!fresh.empty()) {
+      auto& slot = d.placement.assignment[sw_node];
+      for (std::size_t si : fresh)
+        if (std::find(slot.begin(), slot.end(), si) == slot.end())
+          slot.push_back(si);
+      std::sort(slot.begin(), slot.end());
+    }
+  }
+}
+
+void NetworkController::verify_placer(const Deployment& d,
+                                      const IncrementalPlacer& p) const {
+  const Placement scratch =
+      place_resilient(net_.topo(), p.ingress(), p.num_slices());
+  if (p.placement().assignment != scratch.assignment)
+    throw std::logic_error(
+        "incremental placement diverged from the scratch oracle for '" +
+        d.query + "'");
+}
+
+void NetworkController::note_replacement(std::size_t scope,
+                                         std::size_t changed) {
+  ++fault_stats_.replace_events;
+  fault_stats_.replace_scope_switches += scope;
+  fault_stats_.replace_changed_switches += changed;
+  fault_stats_.last_replace_scope = scope;
+  fault_stats_.last_replace_changed = changed;
+  auto& c = FaultCounters::get();
+  c.replace_events.add();
+  c.replace_scope.add(scope);
+  c.replace_changed.add(changed);
+}
+
+void NetworkController::replace_for_event(Deployment& d, bool allow_withdraw,
+                                          bool switch_event, int a, int b) {
+  const auto it = placers_.find(d.query);
+  if (mode_ == PlacementMode::Incremental && it != placers_.end()) {
+    IncrementalPlacer& p = it->second;
+    if (switch_event)
+      p.on_switch_event(a);
+    else
+      p.on_link_event(a, b);
+    if (verify_placement_) verify_placer(d, p);
+    note_replacement(p.last_scope(), p.last_changed());
+    reconcile_incremental(d, p, allow_withdraw);
+    return;
+  }
+  // Scratch baseline: the whole live fabric is the re-placement scope.
+  std::size_t live = 0;
+  for (int s : net_.topo().switches())
+    if (net_.topo().node_up(s)) ++live;
+  note_replacement(live, 0);
+  reconcile(d, allow_withdraw);
 }
 
 void NetworkController::on_switch_failed(int sw_node) {
@@ -352,7 +529,13 @@ void NetworkController::on_switch_failed(int sw_node) {
     }
     d.by_slice.erase(sw_node);
     d.placement.assignment.erase(sw_node);
-    if (d.resilient) reconcile(d);
+    std::erase_if(d.install_holes,
+                  [&](const auto& e) { return e.first == sw_node; });
+    std::erase_if(d.stale_extras,
+                  [&](const auto& e) { return e.first == sw_node; });
+    if (d.resilient)
+      replace_for_event(d, /*allow_withdraw=*/true, /*switch_event=*/true,
+                        sw_node, -1);
     refresh_degraded(d);
   }
   ++fault_stats_.failovers;
@@ -367,9 +550,33 @@ void NetworkController::on_switch_restored(int sw_node) {
       for (uint64_t h : it->second) net_.sw(sw_node).remove(h);
       d.orphaned.erase(it);
     }
-    if (d.resilient) reconcile(d);
+    if (d.resilient)
+      replace_for_event(d, /*allow_withdraw=*/true, /*switch_event=*/true,
+                        sw_node, -1);
     refresh_degraded(d);
   }
+}
+
+void NetworkController::handle_link_event(int a, int b) {
+  for (auto& [name, d] : deployments_) {
+    if (!d.resilient) continue;
+    replace_for_event(d, /*allow_withdraw=*/false, /*switch_event=*/false, a,
+                      b);
+    refresh_degraded(d);
+  }
+}
+
+void NetworkController::on_link_failed(int a, int b) {
+  handle_link_event(a, b);
+}
+
+void NetworkController::on_link_restored(int a, int b) {
+  handle_link_event(a, b);
+}
+
+PlacementMode NetworkController::default_placement_mode() {
+  return std::getenv("NEWTON_NO_INC_PLACE") ? PlacementMode::Scratch
+                                            : PlacementMode::Incremental;
 }
 
 const NetworkController::Deployment* NetworkController::deployment(

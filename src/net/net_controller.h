@@ -25,10 +25,21 @@
 #include "analyzer/analyzer.h"
 #include "core/cqe.h"
 #include "fault/install_faults.h"
+#include "net/inc_place.h"
 #include "net/network.h"
 #include "net/placement.h"
 
 namespace newton {
+
+// How Algorithm 2 re-placement reacts to topology churn:
+//   Incremental — per-deployment IncrementalPlacer relaxes only the
+//     affected subtree (docs/fleet.md); the default.
+//   Scratch — full `place_resilient` recompute on every event; the
+//     recompute-everything baseline `bench_fleet` compares against, also
+//     selected by the NEWTON_NO_INC_PLACE kill switch.
+// Both modes issue byte-identical install/withdraw deltas (proven by the
+// difftest `place` axis).
+enum class PlacementMode : uint8_t { Incremental, Scratch };
 
 // Retry-with-exponential-backoff policy for one switch's rule batch.  The
 // backoff is modeled (added to the deployment's control latency), not slept.
@@ -118,6 +129,17 @@ class NetworkController {
     // Retries burned installing this deployment, against the policy's
     // whole-deployment retry_budget.
     std::size_t retries_used = 0;
+    // (switch, slice) pairs the current placement wants installed but whose
+    // delta install keeps failing — retried on every later reconciliation
+    // until healed or no longer placed.
+    std::set<std::pair<int, std::size_t>> install_holes;
+    // (switch, slice) pairs still installed although the current placement
+    // no longer requires them: link churn shrinks reachability, but
+    // withdrawing a live replica would destroy its accumulated sketch
+    // state mid-window, so link events are grow-only and the stale replica
+    // is only swept at the next switch-death/restore reconciliation
+    // (matching what the scratch path has always done).
+    std::set<std::pair<int, std::size_t>> stale_extras;
   };
 
   // Running totals of the fault machinery (mirrored into telemetry).
@@ -128,6 +150,16 @@ class NetworkController {
     uint64_t delta_installs = 0;    // slices added by a reconcile
     uint64_t delta_withdrawals = 0; // slices removed by a reconcile
     uint64_t failed_permanent = 0;  // installs that hit FAILED_PERMANENT
+    // Re-placement accounting, per (churn event, resilient deployment):
+    // `scope` counts switches the placer re-evaluated (incremental: the
+    // relaxed subtree; scratch: every live switch), `changed` counts
+    // switches whose assignment actually moved (incremental mode only —
+    // the scratch baseline does not diff, it reinstalls the world).
+    uint64_t replace_events = 0;
+    uint64_t replace_scope_switches = 0;
+    uint64_t replace_changed_switches = 0;
+    uint64_t last_replace_scope = 0;
+    uint64_t last_replace_changed = 0;
   };
 
   // Resilient CQE deployment across all possible paths from the monitored
@@ -154,6 +186,26 @@ class NetworkController {
   void on_switch_failed(int sw_node);
   void on_switch_restored(int sw_node);
 
+  // Link churn notifications (again from the FaultInjector, after the
+  // topology flip).  Re-placement under link churn is GROW-ONLY: missing
+  // replicas on newly reachable switches are installed (coverage healing),
+  // but replicas the shrunken reachability no longer requires stay put —
+  // withdrawing them would destroy live sketch state; they are tracked in
+  // Deployment::stale_extras and swept at the next switch event.
+  void on_link_failed(int a, int b);
+  void on_link_restored(int a, int b);
+
+  // Must be chosen before the first deploy (a mode flip does not retrofit
+  // existing deployments).  Defaults to Incremental, or Scratch when the
+  // NEWTON_NO_INC_PLACE environment variable is set.
+  void set_placement_mode(PlacementMode m) { mode_ = m; }
+  PlacementMode placement_mode() const { return mode_; }
+  // Equivalence oracle: after every incremental re-placement, cross-check
+  // the placer's masks against a scratch `place_resilient` and throw
+  // std::logic_error on any divergence.  Used by tests, the difftest
+  // `place` axis, and `bench_fleet --verify`.
+  void set_verify_placement(bool on) { verify_placement_ = on; }
+
   // Fault model consulted before every per-switch install attempt (null =
   // no injected install faults).  Not owned.
   void set_install_faults(InstallFaultModel* m) { install_faults_ = m; }
@@ -177,7 +229,14 @@ class NetworkController {
   void install_one_slice(Deployment& d, int sw_node, std::size_t si);
   void remove_slice_handle(Deployment& d, int sw_node, std::size_t si);
   void rollback(Deployment& d);
-  void reconcile(Deployment& d);
+  void reconcile(Deployment& d, bool allow_withdraw);
+  void reconcile_incremental(Deployment& d, IncrementalPlacer& p,
+                             bool allow_withdraw);
+  void handle_link_event(int a, int b);
+  void replace_for_event(Deployment& d, bool allow_withdraw,
+                         bool switch_event, int a, int b);
+  void verify_placer(const Deployment& d, const IncrementalPlacer& p) const;
+  void note_replacement(std::size_t scope, std::size_t changed);
   void refresh_degraded(Deployment& d);
   void free_central(Deployment& d);
 
@@ -187,6 +246,13 @@ class NetworkController {
   RetryPolicy retry_;
   std::vector<RangeAllocator> central_alloc_;
   std::map<std::string, Deployment> deployments_;
+  // Per-resilient-deployment incremental placer state (Incremental mode
+  // only; queries slicing past IncrementalPlacer::kMaxSlices fall back to
+  // scratch and have no entry here).
+  std::map<std::string, IncrementalPlacer> placers_;
+  static PlacementMode default_placement_mode();  // env kill switch
+  PlacementMode mode_ = default_placement_mode();
+  bool verify_placement_ = false;
   FaultStats fault_stats_;
   std::optional<InstallFailure> last_failure_;
   uint16_t next_uid_ = 1;

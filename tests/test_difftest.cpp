@@ -66,6 +66,8 @@ TEST(DiffCorpus, CqeAndFaultAxesRun) {
   EXPECT_TRUE(axis_ran(cqe, "cqe-vs-o0")) << describe(cqe);
   const CheckOutcome flt = check_scenario(corpus_scenario("fault_distinct"));
   EXPECT_TRUE(axis_ran(flt, "fault-vs-o0")) << describe(flt);
+  const CheckOutcome plc = check_scenario(corpus_scenario("place_churn"));
+  EXPECT_TRUE(axis_ran(plc, "place-inc-vs-scratch")) << describe(plc);
 }
 
 // The multi-query corpus seed drives mid-stream install/withdraw/update.

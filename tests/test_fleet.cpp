@@ -1,0 +1,426 @@
+// Fleet-scale machinery (docs/fleet.md): incremental Algorithm 2 placement
+// against the scratch oracle under mixed churn, bounded re-placement scope,
+// grow-only link semantics, and the k-ary report aggregation tree.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "analyzer/analyzer.h"
+#include "core/compose.h"
+#include "core/cqe.h"
+#include "core/query.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "net/agg_tree.h"
+#include "net/inc_place.h"
+#include "net/net_controller.h"
+#include "net/network.h"
+#include "net/placement.h"
+#include "packet/fields.h"
+#include "packet/packet.h"
+#include "trace/attacks.h"
+#include "trace/trace_gen.h"
+
+namespace newton {
+namespace {
+
+// One legal random churn step against `t`, tracked so fail/restore always
+// alternate per element.  Returns the placer notification to fire.
+struct ChurnDriver {
+  Topology& t;
+  std::mt19937 rng;
+  std::vector<std::pair<int, int>> links;
+  std::set<std::pair<int, int>> down_links;
+  std::set<int> down_switches;
+
+  ChurnDriver(Topology& topo, uint32_t seed) : t(topo), rng(seed) {
+    for (int s : t.switches())
+      for (int n : t.adj.at(static_cast<std::size_t>(s)))
+        if (t.is_switch(n) && s < n) links.push_back({s, n});
+  }
+
+  // Mutates the topology and notifies `p`; mirrors FaultInjector ordering
+  // (topology first, then the notification).
+  void step(IncrementalPlacer& p) {
+    const std::vector<int> sws = t.switches();
+    switch (rng() % 4) {
+      case 0: {  // link down
+        const auto [a, b] = links[rng() % links.size()];
+        if (!t.link_up(a, b)) return;
+        t.fail_link(a, b);
+        down_links.insert({a, b});
+        p.on_link_event(a, b);
+        return;
+      }
+      case 1: {  // link up
+        if (down_links.empty()) return;
+        auto it = down_links.begin();
+        std::advance(it, rng() % down_links.size());
+        const auto [a, b] = *it;
+        down_links.erase(it);
+        t.restore_link(a, b);
+        p.on_link_event(a, b);
+        return;
+      }
+      case 2: {  // switch down
+        const int s = sws[rng() % sws.size()];
+        if (!t.node_up(s)) return;
+        t.fail_node(s);
+        down_switches.insert(s);
+        p.on_switch_event(s);
+        return;
+      }
+      default: {  // switch up
+        if (down_switches.empty()) return;
+        auto it = down_switches.begin();
+        std::advance(it, rng() % down_switches.size());
+        const int s = *it;
+        down_switches.erase(it);
+        t.restore_node(s);
+        p.on_switch_event(s);
+        return;
+      }
+    }
+  }
+};
+
+void expect_matches_scratch(const Topology& t, const IncrementalPlacer& p,
+                            const std::vector<int>& ingress,
+                            std::size_t slices, std::size_t step) {
+  const Placement scratch = place_resilient(t, ingress, slices);
+  ASSERT_EQ(p.placement().assignment, scratch.assignment)
+      << "diverged from scratch at step " << step << " (slices=" << slices
+      << ")";
+}
+
+// The incremental fixpoint must equal the scratch BFS after EVERY event of
+// a long mixed link/switch churn run — this is the oracle the controller's
+// verify mode and the difftest place axis lean on.  Together the depths
+// cover single-slice (ingress-only), shallow and deep chains.
+TEST(IncrementalPlacer, MatchesScratchUnderMixedChurnFatTree) {
+  for (const std::size_t slices : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    Topology t = make_fat_tree(4);
+    const std::vector<int> ingress = t.edge_switches();
+    IncrementalPlacer p(&t, ingress, slices);
+    expect_matches_scratch(t, p, ingress, slices, 0);
+    ChurnDriver drv(t, 1234 + static_cast<uint32_t>(slices));
+    for (std::size_t i = 1; i <= 150; ++i) {
+      drv.step(p);
+      expect_matches_scratch(t, p, ingress, slices, i);
+    }
+  }
+}
+
+// Same oracle sweep on the irregular ISP backbone (asymmetric degrees, so
+// relaxation orders differ from the fat-tree's).
+TEST(IncrementalPlacer, MatchesScratchUnderMixedChurnIsp) {
+  for (const std::size_t slices : {std::size_t{2}, std::size_t{5}}) {
+    Topology t = make_isp_backbone();
+    const std::vector<int> ingress = t.edge_switches();
+    IncrementalPlacer p(&t, ingress, slices);
+    ChurnDriver drv(t, 777 + static_cast<uint32_t>(slices));
+    for (std::size_t i = 1; i <= 120; ++i) {
+      drv.step(p);
+      expect_matches_scratch(t, p, ingress, slices, i);
+    }
+  }
+}
+
+// recompute() resyncs after unobserved topology changes.
+TEST(IncrementalPlacer, RecomputeResyncsAfterUnobservedChange) {
+  Topology t = make_fat_tree(4);
+  const std::vector<int> ingress = t.edge_switches();
+  IncrementalPlacer p(&t, ingress, 3);
+  const int victim = t.switches()[5];
+  t.fail_node(victim);  // NOT notified
+  p.recompute();
+  expect_matches_scratch(t, p, ingress, 3, 0);
+}
+
+// The fleet claim: a single-switch event relaxes a small neighborhood, not
+// the fabric.  On fat-tree(8) (80 switches) every single-switch kill or
+// restore must touch < 20% of the fabric — the same bound bench_fleet
+// gates at k=16 in CI.
+TEST(IncrementalPlacer, SingleSwitchChurnScopeBounded) {
+  Topology t = make_fat_tree(8);
+  const std::size_t S = t.switches().size();
+  ASSERT_EQ(S, 80u);  // 5k^2/4
+  IncrementalPlacer p(&t, t.edge_switches(), 2);
+  std::mt19937 rng(9);
+  const std::vector<int> sws = t.switches();
+  for (int i = 0; i < 24; ++i) {
+    const int s = sws[rng() % sws.size()];
+    if (!t.node_up(s)) continue;
+    t.fail_node(s);
+    p.on_switch_event(s);
+    EXPECT_LT(p.last_scope(), S / 5) << "kill of switch " << s;
+    t.restore_node(s);
+    p.on_switch_event(s);
+    EXPECT_LT(p.last_scope(), S / 5) << "restore of switch " << s;
+  }
+}
+
+// Same shape as bench_fleet's per-tenant query: five primitives, so a
+// 3-stage switch budget forces a genuine multi-slice CQE chain.
+Query fleet_query(const std::string& name) {
+  QueryBuilder b(name);
+  b.sketch(2, 2048);
+  b.filter(Predicate{}.where(Field::Proto, Cmp::Eq, kProtoTcp))
+      .map({Field::DstIp})
+      .distinct({Field::SrcIp, Field::DstIp})
+      .reduce({Field::DstIp}, Agg::Sum)
+      .when(Cmp::Ge, 2);
+  Query q = b.build();
+  q.window_ns = 100'000'000;
+  return q;
+}
+
+Trace fleet_trace() {
+  std::mt19937 rng(41);
+  Trace t;
+  inject_syn_flood(t, ipv4(172, 16, 40, 1), 150, 2, 1'000'000, rng);
+  inject_super_spreader(t, ipv4(198, 18, 4, 4), 80, 2'000'000, rng);
+  t.sort_by_time();
+  return t;
+}
+
+std::size_t src_of(std::size_t i, std::size_t n) { return (i * 7 + 1) % n; }
+std::size_t dst_of(std::size_t i, std::size_t n) {
+  std::size_t d = (i * 11 + 5) % n;
+  if (d == src_of(i, n)) d = (d + 1) % n;
+  return d;
+}
+
+// End-to-end mode equivalence: the same fat-tree churn replay under
+// incremental (with the oracle armed) and scratch re-placement must leave
+// the analyzer byte-identical — same keysets, same report counts.  The
+// difftest `place` axis fuzzes this; here is the deterministic anchor.
+TEST(PlacementModes, ByteIdenticalReportsUnderChurn) {
+  const Trace trace = fleet_trace();
+  Analyzer results[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    Analyzer& an = results[mode];
+    Network net(make_fat_tree(4), /*stages=*/3, &an, 1 << 13);
+    NetworkController ctl(net, &an, 1 << 13);
+    ctl.set_placement_mode(mode == 0 ? PlacementMode::Incremental
+                                     : PlacementMode::Scratch);
+    if (mode == 0) ctl.set_verify_placement(true);
+    const auto& d = ctl.deploy(fleet_query("fq"));
+    ASSERT_GE(d.slices.size(), 2u);  // stage budget 3 forces real CQE
+    const FaultPlan plan = make_random_churn_plan(
+        net.topo(), /*seed=*/17, /*n_events=*/8, trace.size(),
+        trace.size() / 5 + 1);
+    ASSERT_FALSE(plan.empty());
+    FaultInjector inj(net, plan, &ctl);
+    const auto hosts = net.topo().hosts();
+    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+      inj.advance(i);
+      net.send(trace.packets[i],
+               hosts[src_of(i, hosts.size())],
+               hosts[dst_of(i, hosts.size())]);
+    }
+    inj.finish();
+    for (int n : net.topo().switches())
+      if (net.has_switch(n)) net.sw(n).flush_telemetry();
+  }
+  EXPECT_EQ(results[0].detected("fq", 0), results[1].detected("fq", 0));
+  EXPECT_EQ(results[0].reports_for("fq"), results[1].reports_for("fq"));
+  EXPECT_EQ(results[0].total_reports(), results[1].total_reports());
+}
+
+// Link churn is grow-only: a link-down must never withdraw a live replica
+// (its sketch state must survive the flap); the staleness is only recorded
+// and swept at the next switch event.
+TEST(PlacementModes, LinkEventsNeverWithdraw) {
+  Analyzer an;
+  Network net(make_fat_tree(4), /*stages=*/3, &an, 1 << 13);
+  NetworkController ctl(net, &an, 1 << 13);
+  const auto& d = ctl.deploy(fleet_query("fq"));
+  const std::size_t installed_before = [&] {
+    std::size_t n = 0;
+    for (const auto& [sw, m] : d.by_slice) n += m.size();
+    return n;
+  }();
+
+  Topology& t = net.topo();
+  int la = -1, lb = -1;
+  for (int s : t.switches()) {
+    for (int n : t.adj.at(static_cast<std::size_t>(s)))
+      if (t.is_switch(n) && s < n) {
+        la = s;
+        lb = n;
+        break;
+      }
+    if (la >= 0) break;
+  }
+  ASSERT_GE(la, 0);
+  t.fail_link(la, lb);
+  ctl.on_link_failed(la, lb);
+  EXPECT_EQ(ctl.fault_stats().delta_withdrawals, 0u);
+  std::size_t installed_after = 0;
+  for (const auto& [sw, m] : d.by_slice) installed_after += m.size();
+  EXPECT_EQ(installed_after, installed_before);
+
+  t.restore_link(la, lb);
+  ctl.on_link_restored(la, lb);
+  EXPECT_EQ(ctl.fault_stats().delta_withdrawals, 0u);
+  EXPECT_EQ(d.stale_extras.size(), 0u);  // restore re-legitimized them
+}
+
+TEST(MergeOpForSlices, FollowsStatefulOps) {
+  const auto ops_of = [](const Query& q) {
+    const CompiledQuery cq = compile_query(q, {});
+    return merge_op_for_slices(slice_query(cq, 8));
+  };
+  Query distinct_q = QueryBuilder("d")
+                         .sketch(2, 2048)
+                         .map({Field::DstIp})
+                         .distinct({Field::DstIp})
+                         .build();
+  EXPECT_EQ(ops_of(distinct_q), MergeOp::Or);
+  Query reduce_q = QueryBuilder("r")
+                       .sketch(2, 2048)
+                       .map({Field::DstIp})
+                       .reduce({Field::DstIp}, Agg::Sum)
+                       .when(Cmp::Ge, 1000)
+                       .build();
+  EXPECT_EQ(ops_of(reduce_q), MergeOp::Add);
+  Query mixed_q = QueryBuilder("m")
+                      .sketch(2, 2048)
+                      .distinct({Field::SrcIp, Field::DstIp})
+                      .reduce({Field::DstIp}, Agg::Sum)
+                      .when(Cmp::Ge, 1000)
+                      .build();
+  EXPECT_EQ(ops_of(mixed_q), MergeOp::Max);
+  Query stateless_q =
+      QueryBuilder("s").sketch(2, 2048).map({Field::DstIp}).build();
+  EXPECT_EQ(ops_of(stateless_q), MergeOp::Max);
+}
+
+// Tree shape: bounded fan-in at every node, depth logarithmic in the
+// switch count.
+TEST(AggregationTree, ShapeBounds) {
+  const Topology t = make_fat_tree(8);  // 80 switches
+  for (const std::size_t fanin : {std::size_t{2}, std::size_t{4},
+                                  std::size_t{16}}) {
+    Analyzer an;
+    AggregationTree::Options opt;
+    opt.fanin = fanin;
+    AggregationTree tree(t, &an, opt);
+    const auto& st = tree.stats();
+    EXPECT_LE(st.max_fanin, fanin);
+    // depth levels: leaves + ceil-log_fanin chain up to a single root.
+    std::size_t expect_depth = 1, count = 80;
+    while (count > 1) {
+      count = (count + fanin - 1) / fanin;
+      ++expect_depth;
+    }
+    EXPECT_EQ(st.depth, expect_depth) << "fanin " << fanin;
+    EXPECT_GE(st.nodes, 81u);  // 80 leaves + at least a root
+  }
+}
+
+// Collection equivalence: streaming the same traffic into the analyzer
+// directly (central collector) and through the aggregation tree must yield
+// identical analyzer-visible keysets, per window, while the tree's root
+// forwards strictly fewer records than entered its leaves.
+TEST(AggregationTree, AnalyzerKeysetsMatchCentralCollection) {
+  const Trace trace = fleet_trace();
+
+  // Arm 1: central collection.
+  Analyzer central;
+  {
+    Network net(make_fat_tree(4), /*stages=*/3, &central, 1 << 13);
+    NetworkController ctl(net, &central, 1 << 13);
+    ctl.deploy(fleet_query("fq"));
+    const auto hosts = net.topo().hosts();
+    for (std::size_t i = 0; i < trace.packets.size(); ++i)
+      net.send(trace.packets[i], hosts[src_of(i, hosts.size())],
+               hosts[dst_of(i, hosts.size())]);
+    for (int n : net.topo().switches()) net.sw(n).flush_telemetry();
+  }
+
+  // Arm 2: identical fabric, reports routed through the aggregation tree.
+  Analyzer treed;
+  uint64_t reports_in = 0, root_records = 0, merged = 0;
+  {
+    Network net(make_fat_tree(4), /*stages=*/3, &treed, 1 << 13);
+    NetworkController ctl(net, &treed, 1 << 13);
+    ctl.deploy(fleet_query("fq"));
+    AggregationTree::Options opt;
+    opt.fanin = 4;
+    opt.window_ns = 100'000'000;
+    opt.attribution = &treed;
+    AggregationTree tree(net.topo(), &treed, opt);
+    tree.set_merge_op("fq", merge_op_for_slices(*ctl.slices_of("fq")));
+    for (int n : net.topo().switches()) net.sw(n).set_sink(&tree);
+    const auto hosts = net.topo().hosts();
+    for (std::size_t i = 0; i < trace.packets.size(); ++i)
+      net.send(trace.packets[i], hosts[src_of(i, hosts.size())],
+               hosts[dst_of(i, hosts.size())]);
+    for (int n : net.topo().switches()) net.sw(n).flush_telemetry();
+    tree.flush();
+    reports_in = tree.stats().reports_in;
+    root_records = tree.stats().root_records;
+    merged = tree.stats().merged_away;
+  }
+
+  EXPECT_EQ(treed.detected("fq", 0), central.detected("fq", 0));
+  const uint64_t wns = 100'000'000;
+  for (uint64_t w = 0; w < 3; ++w)
+    EXPECT_EQ(treed.detected_in_window("fq", 0, w, wns),
+              central.detected_in_window("fq", 0, w, wns))
+        << "window " << w;
+  // The resilient placement replicates slices, so duplicates exist and the
+  // tree must actually compress them.
+  EXPECT_GT(merged, 0u);
+  EXPECT_LT(root_records, reports_in);
+  EXPECT_EQ(treed.total_reports(), root_records);
+}
+
+// Fat-tree structure at fleet arities: the standard k-ary closed forms.
+TEST(FatTreeScale, NodeAndLinkCounts) {
+  for (const int k : {16, 32}) {
+    const Topology t = make_fat_tree(k);
+    const std::size_t K = static_cast<std::size_t>(k);
+    EXPECT_EQ(t.switches().size(), 5 * K * K / 4) << "k=" << k;
+    EXPECT_EQ(t.hosts().size(), K * K * K / 4) << "k=" << k;
+    std::size_t links = 0;
+    for (const auto& nbrs : t.adj) links += nbrs.size();
+    links /= 2;
+    // k^3/4 host links + k^3/2 switch-switch links.
+    EXPECT_EQ(links, 3 * K * K * K / 4) << "k=" << k;
+  }
+}
+
+// Placement feasibility at k=32 (1280 switches): every live edge switch
+// seeds slice 0, deep chains cover the fabric, and the incremental placer
+// agrees with scratch at scale.
+TEST(FatTreeScale, PlacementFeasibleAtK32) {
+  Topology t = make_fat_tree(32);
+  const std::vector<int> ingress = t.edge_switches();
+  ASSERT_EQ(ingress.size(), 512u);  // k^2/2 edge switches
+  const Placement p = place_resilient(t, ingress, 4);
+  for (int e : ingress) {
+    const auto it = p.assignment.find(e);
+    ASSERT_NE(it, p.assignment.end());
+    EXPECT_EQ(it->second.front(), 0u);  // slice 0 at every ingress
+  }
+  // With 4 slices the BFS reaches well past the edge layer.
+  EXPECT_GT(p.switches_used(), ingress.size());
+
+  IncrementalPlacer inc(&t, ingress, 4);
+  EXPECT_EQ(inc.placement().assignment, p.assignment);
+  // One switch kill at fleet scale relaxes a tiny fraction of the fabric.
+  const int victim = ingress[100];
+  t.fail_node(victim);
+  inc.on_switch_event(victim);
+  EXPECT_LT(inc.last_scope(), t.switches().size() / 5);
+  const Placement after = place_resilient(t, ingress, 4);
+  EXPECT_EQ(inc.placement().assignment, after.assignment);
+}
+
+}  // namespace
+}  // namespace newton

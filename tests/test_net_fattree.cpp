@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 
 #include "analyzer/analyzer.h"
 #include "core/queries.h"
+#include "fault/fault_plan.h"
 #include "net/net_controller.h"
 #include "trace/attacks.h"
 
@@ -150,6 +152,75 @@ TEST_F(FatTreeNetwork, PacketsBetweenAllPodPairsAreMonitored) {
   // per path thanks to ingress gating + CQE).
   EXPECT_EQ(analyzer_.reports_for("pair_export"),
             static_cast<std::size_t>(sent));
+}
+
+// Structural invariants at fleet arities (k = 16, 32): the closed-form
+// node counts and the per-layer link structure the placement and the
+// aggregation tree lean on (docs/fleet.md).
+TEST(FatTreeStructure, LayerDegreesAtFleetScale) {
+  for (const int k : {16, 32}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const Topology t = make_fat_tree(k);
+    const std::size_t K = static_cast<std::size_t>(k);
+    ASSERT_EQ(t.switches().size(), 5 * K * K / 4);
+    ASSERT_EQ(t.hosts().size(), K * K * K / 4);
+
+    // Layers fall out of the structure alone: edge switches touch hosts,
+    // aggregation switches touch edge switches, cores touch only aggs.
+    std::set<int> edge_set;
+    for (const int s : t.switches()) {
+      std::size_t host_links = 0, sw_links = 0;
+      for (const int n : t.adj[static_cast<std::size_t>(s)])
+        (t.is_switch(n) ? sw_links : host_links) += 1;
+      if (host_links > 0) {
+        // Edge switch: k/2 hosts below, k/2 aggregation switches above.
+        EXPECT_EQ(host_links, K / 2);
+        EXPECT_EQ(sw_links, K / 2);
+        edge_set.insert(s);
+      } else {
+        // Agg and core switches both see exactly k switch neighbors.
+        EXPECT_EQ(sw_links, K);
+      }
+    }
+    std::size_t agg = 0, core = 0;
+    for (const int s : t.switches()) {
+      if (edge_set.contains(s)) continue;
+      bool touches_edge = false;
+      for (const int n : t.adj[static_cast<std::size_t>(s)])
+        touches_edge |= edge_set.contains(n);
+      (touches_edge ? agg : core) += 1;
+    }
+    EXPECT_EQ(edge_set.size(), K * K / 2);
+    EXPECT_EQ(edge_set.size(), t.edge_switches().size());
+    EXPECT_EQ(agg, K * K / 2);
+    EXPECT_EQ(core, K * K / 4);
+  }
+}
+
+// Path diversity is what makes Algorithm 2's all-paths placement matter:
+// between hosts in different pods there are (k/2)^2 core choices, so
+// killing any single core switch must leave every host pair connected.
+// (k = 8 here: the full-mesh connectivity check is quadratic in hosts.)
+TEST(FatTreeStructure, SurvivesAnySingleCoreFailure) {
+  Topology t = make_fat_tree(8);
+  // Cores are the switches at least two hops from any host: no host link
+  // themselves and none on any neighbor.
+  const std::vector<int> edges = t.edge_switches();
+  const std::set<int> edge_set(edges.begin(), edges.end());
+  std::vector<int> cores;
+  for (const int s : t.switches()) {
+    if (edge_set.contains(s)) continue;
+    bool touches_edge = false;
+    for (const int n : t.adj[static_cast<std::size_t>(s)])
+      touches_edge |= edge_set.contains(n);
+    if (!touches_edge) cores.push_back(s);
+  }
+  ASSERT_EQ(cores.size(), 16u);  // (k/2)^2
+  for (const int c : cores) {
+    t.fail_node(c);
+    EXPECT_TRUE(all_hosts_connected(t)) << "core " << c;
+    t.restore_node(c);
+  }
 }
 
 }  // namespace
